@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Bring your own workload: protect a custom application model.
+
+Shows the extension surface a downstream user actually touches:
+
+* subclass :class:`repro.workloads.base.Application` for a sensitive
+  service with its own QoS definition (here: a toy game server whose
+  QoS is its tick-rate);
+* subclass :class:`repro.workloads.base.PhasedApplication` for a batch
+  job with bespoke phases (here: a nightly ETL pipeline with
+  extract/transform/load stages);
+* wire both into a host manually and attach the Stay-Away controller.
+
+Run with:  python examples/custom_workload.py
+"""
+
+from typing import Optional
+
+from repro import Container, Host, SimulationEngine, StayAway, StayAwayConfig
+from repro.sim.clock import SimulationClock
+from repro.sim.contention import Allocation
+from repro.sim.resources import ResourceVector
+from repro.workloads.base import Application, ApplicationKind, QosReport
+from repro.workloads.phases import Phase, PhaseSchedule
+from repro.workloads.base import PhasedApplication
+
+
+class GameServer(Application):
+    """A real-time game server: QoS is the simulation tick-rate."""
+
+    def __init__(self, target_tickrate: float = 60.0, seed: int = 0) -> None:
+        super().__init__(name="game-server", kind=ApplicationKind.SENSITIVE,
+                         seed=seed, noise_std=0.05)
+        self.target_tickrate = target_tickrate
+        self._report: Optional[QosReport] = None
+
+    def demand(self, clock: SimulationClock) -> ResourceVector:
+        # Player count oscillates over the evening: a slow ramp.
+        players = 0.5 + 0.5 * min(1.0, clock.now / 300.0)
+        return self._jitter(ResourceVector(
+            cpu=2.6 * players,
+            memory=1500.0,
+            memory_bw=1200.0 * players,
+            disk_io=2.0,
+            network=300.0 * players,
+        ))
+
+    def _on_advance(self, allocation: Allocation, clock: SimulationClock) -> None:
+        achieved = self.target_tickrate * allocation.progress
+        self._report = QosReport(value=achieved / self.target_tickrate,
+                                 threshold=0.92)
+
+    def qos_report(self) -> Optional[QosReport]:
+        return self._report
+
+
+def nightly_etl(seed: int = 1) -> PhasedApplication:
+    """Extract (I/O bound) -> transform (CPU bound) -> load (memory/IO)."""
+    schedule = PhaseSchedule(
+        [
+            Phase("extract", 60.0, ResourceVector(
+                cpu=0.4, memory=600.0, memory_bw=500.0, disk_io=80.0)),
+            Phase("transform", 90.0, ResourceVector(
+                cpu=2.2, memory=1800.0, memory_bw=1500.0, disk_io=5.0)),
+            Phase("load", 40.0, ResourceVector(
+                cpu=0.8, memory=2500.0, memory_bw=2500.0, disk_io=60.0)),
+        ],
+        cyclic=True,
+    )
+    return PhasedApplication(name="nightly-etl", schedule=schedule,
+                             total_work=None, seed=seed)
+
+
+def main() -> None:
+    host = Host()  # the paper's 4-core/8GB box by default
+    game = GameServer(seed=3)
+    etl = nightly_etl(seed=4)
+    host.add_container(Container(name="game", app=game, sensitive=True))
+    host.add_container(Container(name="etl", app=etl, start_tick=45))
+
+    controller = StayAway(game, config=StayAwayConfig(seed=5))
+    engine = SimulationEngine(host, [controller])
+    engine.run(ticks=700)
+
+    summary = controller.summary()
+    print("=== game server protected from the nightly ETL ===")
+    print(f"periods            : {summary['periods']}")
+    print(f"QoS violations     : {summary['violations_observed']} "
+          f"({summary['violation_ratio']:.1%} of periods)")
+    print(f"throttles / resumes: {summary['throttles']} / {summary['resumes']}")
+    print(f"mapped states      : {summary['states']} "
+          f"({summary['violation_states']} violations)")
+    print(f"prediction accuracy: {summary['outcome_accuracy']:.1%}")
+    print(f"ETL phases completed (work ticks): {etl.work_done:.0f}")
+    print(f"ETL phase when run ended         : {etl.current_phase_name()}")
+
+    throttled = sum(1 for point in controller.trajectory if point.throttling)
+    print(f"ETL throttled for {throttled} of {len(controller.trajectory)} periods "
+          "- mostly during its own transform phase at player peak.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Webservice co-location survey: which batch jobs can share the host?
+
+Reproduces the §7.2 Webservice experiments interactively: a
+memcached-backed analytics webservice (CPU / memory / mixed request
+mixes) co-located with each batch application, under a diurnal client
+load. For every pairing we report whether QoS survives unmanaged,
+what Stay-Away achieves, and how much utilization the co-location
+recovers.
+
+Run with:  python examples/webservice_colocation.py
+"""
+
+from repro import Scenario, run_trio
+from repro.analysis.reports import ascii_table
+
+WORKLOADS = ["webservice-cpu", "webservice-memory", "webservice-mix"]
+BATCHES = ["soplex", "twitter-analysis", "cpubomb", "memorybomb"]
+
+
+def main() -> None:
+    rows = []
+    for workload in WORKLOADS:
+        for batch in BATCHES:
+            scenario = Scenario(
+                sensitive=workload, batches=(batch,), ticks=800, seed=1
+            )
+            trio = run_trio(scenario)
+            verdict = (
+                "safe anyway"
+                if trio.unmanaged.violation_ratio() < 0.02
+                else "needs Stay-Away"
+            )
+            rows.append([
+                workload,
+                batch,
+                f"{trio.unmanaged.violation_ratio():.1%}",
+                f"{trio.stayaway.violation_ratio():.1%}",
+                f"{trio.utilization.stayaway_gain_mean:5.1f}pp",
+                verdict,
+            ])
+            print(f"ran {workload} + {batch}")
+
+    print()
+    print(ascii_table(
+        ["webservice workload", "batch app", "viol (unmanaged)",
+         "viol (stay-away)", "util gain", "verdict"],
+        rows,
+    ))
+    print(
+        "\nReading the table: Stay-Away holds every pairing below a few"
+        "\npercent of violating periods while recovering whatever"
+        "\nutilization the batch application's phases leave available —"
+        "\nmost for phase-rich co-tenants (Twitter-Analysis), least for"
+        "\nthe constant bombs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in
+offline environments that lack the ``wheel`` package (PEP 660 editable
+installs need it, the legacy develop path does not).
+"""
+
+from setuptools import setup
+
+setup()

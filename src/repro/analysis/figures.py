@@ -1,0 +1,148 @@
+"""Paper-figure builders: turn run results into SVG graphics.
+
+Each function mirrors one figure family of the evaluation:
+
+* :func:`state_space_figure` — Figs. 5-7, 17-18: the 2-D map with modes,
+  safe/violation states and violation-range discs;
+* :func:`qos_figure` — Figs. 8-9, 14-16: normalized QoS over time with
+  the threshold line, with/without Stay-Away;
+* :func:`gained_utilization_figure` — Figs. 10-11: upper (unmanaged)
+  and lower (Stay-Away) gain bands;
+* :func:`timeline_figure` — Fig. 13: sensitive stress plus batch
+  execution/throttle bands.
+
+All return SVG strings; pass ``path`` to also write the file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.analysis.svg import PALETTE, Plot
+from repro.core.controller import StayAway
+from repro.trajectory.modes import ExecutionMode
+
+_MODE_COLORS: Dict[ExecutionMode, str] = {
+    ExecutionMode.IDLE: "#999999",
+    ExecutionMode.SENSITIVE_ONLY: PALETTE[0],
+    ExecutionMode.BATCH_ONLY: PALETTE[2],
+    ExecutionMode.COLOCATED: PALETTE[1],
+}
+
+
+def _maybe_save(svg: str, path: Optional[Union[str, Path]]) -> str:
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def state_space_figure(
+    controller: StayAway,
+    title: str = "Mapped state space",
+    show_ranges: bool = True,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """The 2-D map: per-mode trajectory points, violation states + ranges."""
+    plot = Plot(title=title, xlabel="x", ylabel="y", width=640, height=480)
+
+    by_mode: Dict[ExecutionMode, list] = {}
+    for point in controller.trajectory:
+        by_mode.setdefault(point.mode, []).append(point.coords)
+    for mode, coords in by_mode.items():
+        coords = np.vstack(coords)
+        plot.scatter(
+            coords[:, 0], coords[:, 1],
+            label=mode.value, color=_MODE_COLORS[mode], marker_size=2.2,
+        )
+
+    space = controller.state_space
+    violations = space.violation_indices
+    if violations.size:
+        violation_coords = space.coords[violations]
+        plot.scatter(
+            violation_coords[:, 0], violation_coords[:, 1],
+            label="violation-state", color="#D55E00", marker_size=4.5,
+        )
+        if show_ranges:
+            # Render each violation-range disc as a sampled circle.
+            for center, radius in space.violation_ranges():
+                if radius <= 0:
+                    continue
+                theta = np.linspace(0, 2 * np.pi, 48)
+                plot.line(
+                    center[0] + radius * np.cos(theta),
+                    center[1] + radius * np.sin(theta),
+                    color="#D55E00",
+                )
+    return _maybe_save(plot.render(), path)
+
+
+def qos_figure(
+    unmanaged_qos: np.ndarray,
+    stayaway_qos: np.ndarray,
+    threshold: float,
+    title: str = "Normalized QoS",
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Figs. 8-9 / 14-16: QoS with and without Stay-Away vs the threshold."""
+    plot = Plot(title=title, xlabel="time (ticks)", ylabel="normalized QoS")
+    unmanaged_qos = np.asarray(unmanaged_qos, float)
+    stayaway_qos = np.asarray(stayaway_qos, float)
+    if unmanaged_qos.size:
+        plot.line(np.arange(unmanaged_qos.size), unmanaged_qos,
+                  label="without Stay-Away", color=PALETTE[3])
+    if stayaway_qos.size:
+        plot.line(np.arange(stayaway_qos.size), stayaway_qos,
+                  label="with Stay-Away", color=PALETTE[0])
+    plot.hline(threshold, label="QoS threshold")
+    return _maybe_save(plot.render(), path)
+
+
+def gained_utilization_figure(
+    unmanaged_gain: np.ndarray,
+    stayaway_gain: np.ndarray,
+    title: str = "Gained utilization",
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Figs. 10-11: the two gain bands in percentage points."""
+    plot = Plot(title=title, xlabel="time (ticks)",
+                ylabel="gained utilization (pp)")
+    unmanaged_gain = np.asarray(unmanaged_gain, float)
+    stayaway_gain = np.asarray(stayaway_gain, float)
+    x = np.arange(unmanaged_gain.size)
+    if unmanaged_gain.size:
+        plot.band(x, np.zeros_like(unmanaged_gain), unmanaged_gain,
+                  label="upper band (no prevention)", color=PALETTE[3])
+    if stayaway_gain.size:
+        plot.band(np.arange(stayaway_gain.size),
+                  np.zeros_like(stayaway_gain), stayaway_gain,
+                  label="lower band (Stay-Away)", color=PALETTE[0])
+    return _maybe_save(plot.render(), path)
+
+
+def timeline_figure(
+    controller: StayAway,
+    title: str = "Execution timeline",
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Fig. 13: sensitive stress curve + batch throttle shading."""
+    plot = Plot(title=title, xlabel="time (ticks)", ylabel="stress (1 - QoS)")
+    qos = controller.qos.qos_series
+    if len(qos):
+        plot.line(qos.ticks, 1.0 - qos.values, label="sensitive stress",
+                  color=PALETTE[3])
+    throttled = [
+        (point.tick, point.throttling) for point in controller.trajectory
+    ]
+    if throttled:
+        ticks = np.asarray([tick for tick, _ in throttled], float)
+        running = np.asarray(
+            [0.0 if is_throttled else 1.0 for _, is_throttled in throttled]
+        )
+        # Batch execution shading as a 0/0.15-height band at the bottom.
+        plot.band(ticks, np.zeros_like(running), running * 0.15,
+                  label="batch executing", color=PALETTE[2])
+    return _maybe_save(plot.render(), path)

@@ -1,0 +1,81 @@
+"""QoS statistics over a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.monitoring.qos import QosTracker
+
+
+def normalized_qos_series(tracker: QosTracker) -> np.ndarray:
+    """The sensitive application's normalized QoS per reported tick.
+
+    1.0 means full service; the violation threshold is the app's
+    ``qos_threshold`` — the horizontal line in Figs. 8-9 and 14-16.
+    """
+    return tracker.qos_series.values
+
+
+@dataclass(frozen=True)
+class QosStats:
+    """Summary of a run's QoS behaviour.
+
+    Attributes
+    ----------
+    ticks:
+        Reported ticks.
+    mean_qos:
+        Mean normalized QoS.
+    min_qos:
+        Worst tick.
+    violations:
+        Number of violating ticks.
+    violation_ratio:
+        Fraction of ticks in violation.
+    early_violation_ratio:
+        Fraction of all violations that happened in the first
+        ``early_window`` ticks — the paper's observation that with
+        Stay-Away "most violations seen are in the early phase of
+        execution" (§7.2).
+    """
+
+    ticks: int
+    mean_qos: float
+    min_qos: float
+    violations: int
+    violation_ratio: float
+    early_violation_ratio: float
+
+
+def compute_qos_stats(
+    tracker: QosTracker, early_window: Optional[int] = None
+) -> QosStats:
+    """Summarize a tracker's QoS history.
+
+    Parameters
+    ----------
+    early_window:
+        Tick horizon defining "early" violations; defaults to the first
+        quarter of the run.
+    """
+    values = tracker.qos_series.values
+    ticks = values.size
+    if ticks == 0:
+        return QosStats(0, 0.0, 0.0, 0, 0.0, 0.0)
+    if early_window is None:
+        early_window = max(1, ticks // 4)
+    first_tick = int(tracker.qos_series.ticks[0])
+    early_cutoff = first_tick + early_window
+    violations = tracker.violation_count
+    early = sum(1 for tick in tracker.violation_ticks if tick < early_cutoff)
+    return QosStats(
+        ticks=ticks,
+        mean_qos=float(values.mean()),
+        min_qos=float(values.min()),
+        violations=violations,
+        violation_ratio=violations / ticks,
+        early_violation_ratio=(early / violations) if violations else 0.0,
+    )

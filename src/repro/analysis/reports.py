@@ -1,0 +1,131 @@
+"""Plain-text rendering for the benchmark harness output.
+
+Every bench prints the rows/series the corresponding paper table or
+figure reports; these helpers keep the output format uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    headers = [str(header) for header in headers]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    values: np.ndarray,
+    width: int = 72,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """A one-line character gradient of a numeric series.
+
+    The series is downsampled to ``width`` buckets; each bucket renders
+    as a density character from light (low) to dark (high). Used for
+    the QoS/utilization time-series figures in text form.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if low is None:
+        low = float(values.min())
+    if high is None:
+        high = float(values.max())
+    if high <= low:
+        high = low + 1e-9
+    buckets = np.array_split(values, min(width, values.size))
+    out = []
+    for bucket in buckets:
+        level = (float(bucket.mean()) - low) / (high - low)
+        index = int(round(level * (len(_BLOCKS) - 1)))
+        out.append(_BLOCKS[min(max(index, 0), len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def render_scatter(
+    points: np.ndarray,
+    markers: Sequence[str],
+    width: int = 72,
+    height: int = 24,
+) -> List[str]:
+    """An ASCII scatter plot of 2-D points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` coordinates.
+    markers:
+        One display character per point; later points overwrite earlier
+        ones in a shared cell, so draw violations last.
+
+    Returns the plot as a list of text rows (top row = max y).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {points.shape}")
+    if len(markers) != points.shape[0]:
+        raise ValueError(
+            f"{len(markers)} markers for {points.shape[0]} points"
+        )
+    grid = [[" "] * width for _ in range(height)]
+    if points.shape[0] == 0:
+        return ["".join(row) for row in grid]
+    x_min, y_min = points.min(axis=0)
+    x_max, y_max = points.max(axis=0)
+    x_span = max(x_max - x_min, 1e-12)
+    y_span = max(y_max - y_min, 1e-12)
+    for (x, y), marker in zip(points, markers):
+        column = int((x - x_min) / x_span * (width - 1))
+        row = int((y_max - y) / y_span * (height - 1))
+        grid[row][column] = marker[0]
+    return ["".join(row) for row in grid]
+
+
+def render_timeline_bands(
+    stress: np.ndarray,
+    throttled: Sequence[bool],
+    width: int = 72,
+) -> List[str]:
+    """The Fig. 13 execution timeline as two text bands.
+
+    Band 1: sensitive-application stress (darker = more stressed).
+    Band 2: batch execution — ``#`` while executing, ``.`` while
+    throttled (the paper's dark/light colour bands).
+    """
+    stress = np.asarray(stress, dtype=float)
+    throttled_arr = np.asarray(list(throttled), dtype=bool)
+    n = min(stress.size, throttled_arr.size)
+    if n == 0:
+        return ["", ""]
+    stress_line = render_series(stress[:n], width=width, low=0.0, high=1.0)
+    buckets = np.array_split(throttled_arr[:n], min(width, n))
+    batch_line = "".join("." if bucket.mean() > 0.5 else "#" for bucket in buckets)
+    return [stress_line, batch_line]

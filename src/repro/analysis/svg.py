@@ -1,0 +1,316 @@
+"""Dependency-free SVG plotting.
+
+The evaluation figures (state-space maps, QoS curves, gained-utilization
+bands) deserve real graphics, and the offline environment has no
+plotting library — so this module implements the small slice of one
+that the figures need: an SVG canvas, linear axes with ticks, and
+scatter/line/band marks. Output is plain SVG 1.1 text, viewable in any
+browser.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: A small colour-blind-safe palette (Okabe-Ito).
+PALETTE = [
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # purple
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+]
+
+
+class SvgCanvas:
+    """A minimal SVG document builder."""
+
+    def __init__(self, width: int = 640, height: int = 400) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def line(
+        self, x1: float, y1: float, x2: float, y2: float,
+        stroke: str = "#000", width: float = 1.0, dash: Optional[str] = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def circle(
+        self, cx: float, cy: float, r: float,
+        fill: str = "#000", opacity: float = 1.0, stroke: str = "none",
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}" '
+            f'fill-opacity="{opacity:.3f}" stroke="{stroke}"/>'
+        )
+
+    def rect(
+        self, x: float, y: float, width: float, height: float,
+        fill: str = "#000", opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}" fill-opacity="{opacity:.3f}"/>'
+        )
+
+    def polyline(
+        self, points: Sequence[Tuple[float, float]],
+        stroke: str = "#000", width: float = 1.5,
+    ) -> None:
+        if not points:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(
+        self, x: float, y: float, content: str,
+        size: int = 12, anchor: str = "start", color: str = "#333",
+    ) -> None:
+        escaped = html.escape(content)
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}" '
+            f'font-family="sans-serif">{escaped}</text>'
+        )
+
+    def to_string(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_string())
+        return path
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(count - 1, 1)
+    magnitude = 10 ** np.floor(np.log10(raw_step))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    start = np.ceil(low / step) * step
+    ticks = []
+    value = start
+    while value <= high + 1e-12:
+        ticks.append(float(value))
+        value += step
+    return ticks or [low, high]
+
+
+@dataclass
+class Series:
+    """One plottable series."""
+
+    x: np.ndarray
+    y: np.ndarray
+    label: str = ""
+    color: Optional[str] = None
+    kind: str = "line"  # "line" | "scatter" | "band"
+    y2: Optional[np.ndarray] = None  # upper edge for kind="band"
+    marker_size: float = 2.5
+
+
+class Plot:
+    """A single-axes 2-D plot with line/scatter/band series.
+
+    Parameters
+    ----------
+    title / xlabel / ylabel:
+        Text decorations.
+    width / height:
+        Canvas size in pixels.
+    """
+
+    MARGIN_LEFT = 62
+    MARGIN_BOTTOM = 46
+    MARGIN_TOP = 34
+    MARGIN_RIGHT = 16
+
+    def __init__(
+        self,
+        title: str = "",
+        xlabel: str = "",
+        ylabel: str = "",
+        width: int = 640,
+        height: int = 400,
+    ) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.series: List[Series] = []
+        self.hlines: List[Tuple[float, str, str]] = []
+
+    # -- data -----------------------------------------------------------
+    def _pick_color(self, color: Optional[str]) -> str:
+        if color is not None:
+            return color
+        return PALETTE[len(self.series) % len(PALETTE)]
+
+    def line(self, x, y, label: str = "", color: Optional[str] = None) -> None:
+        """Add a polyline series."""
+        self.series.append(Series(np.asarray(x, float), np.asarray(y, float),
+                                  label=label, color=self._pick_color(color),
+                                  kind="line"))
+
+    def scatter(
+        self, x, y, label: str = "", color: Optional[str] = None,
+        marker_size: float = 2.5,
+    ) -> None:
+        """Add a scatter series."""
+        self.series.append(Series(np.asarray(x, float), np.asarray(y, float),
+                                  label=label, color=self._pick_color(color),
+                                  kind="scatter", marker_size=marker_size))
+
+    def band(self, x, y_low, y_high, label: str = "",
+             color: Optional[str] = None) -> None:
+        """Add a filled band between two curves."""
+        self.series.append(Series(np.asarray(x, float),
+                                  np.asarray(y_low, float),
+                                  label=label, color=self._pick_color(color),
+                                  kind="band", y2=np.asarray(y_high, float)))
+
+    def hline(self, y: float, label: str = "", color: str = "#D55E00") -> None:
+        """Add a horizontal reference line (e.g. the QoS threshold)."""
+        self.hlines.append((y, label, color))
+
+    # -- rendering ----------------------------------------------------------
+    def _extent(self) -> Tuple[float, float, float, float]:
+        xs, ys = [], []
+        for series in self.series:
+            if series.x.size:
+                xs.append(series.x)
+                ys.append(series.y)
+                if series.y2 is not None:
+                    ys.append(series.y2)
+        for y, _, _ in self.hlines:
+            ys.append(np.array([y]))
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_all = np.concatenate(xs)
+        y_all = np.concatenate(ys)
+        x_low, x_high = float(x_all.min()), float(x_all.max())
+        y_low, y_high = float(y_all.min()), float(y_all.max())
+        if x_high <= x_low:
+            x_high = x_low + 1.0
+        if y_high <= y_low:
+            y_high = y_low + 1.0
+        pad = 0.04 * (y_high - y_low)
+        return x_low, x_high, y_low - pad, y_high + pad
+
+    def render(self) -> str:
+        """Render the plot to an SVG string."""
+        canvas = SvgCanvas(self.width, self.height)
+        x_low, x_high, y_low, y_high = self._extent()
+        plot_w = self.width - self.MARGIN_LEFT - self.MARGIN_RIGHT
+        plot_h = self.height - self.MARGIN_TOP - self.MARGIN_BOTTOM
+
+        def sx(x: float) -> float:
+            return self.MARGIN_LEFT + (x - x_low) / (x_high - x_low) * plot_w
+
+        def sy(y: float) -> float:
+            return self.MARGIN_TOP + (1 - (y - y_low) / (y_high - y_low)) * plot_h
+
+        # Frame + grid + ticks.
+        canvas.rect(self.MARGIN_LEFT, self.MARGIN_TOP, plot_w, plot_h,
+                    fill="#fafafa")
+        for tick in _nice_ticks(x_low, x_high):
+            canvas.line(sx(tick), sy(y_low), sx(tick), sy(y_high),
+                        stroke="#ddd", width=0.6)
+            canvas.text(sx(tick), self.height - self.MARGIN_BOTTOM + 16,
+                        f"{tick:g}", size=10, anchor="middle")
+        for tick in _nice_ticks(y_low, y_high):
+            canvas.line(sx(x_low), sy(tick), sx(x_high), sy(tick),
+                        stroke="#ddd", width=0.6)
+            canvas.text(self.MARGIN_LEFT - 6, sy(tick) + 3,
+                        f"{tick:g}", size=10, anchor="end")
+
+        # Series (bands first so lines/markers draw on top).
+        for series in [s for s in self.series if s.kind == "band"]:
+            color = series.color
+            points = [(sx(x), sy(y)) for x, y in zip(series.x, series.y)]
+            points += [
+                (sx(x), sy(y))
+                for x, y in zip(series.x[::-1], series.y2[::-1])
+            ]
+            coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+            canvas._elements.append(
+                f'<polygon points="{coords}" fill="{color}" '
+                f'fill-opacity="0.25" stroke="none"/>'
+            )
+        for series in [s for s in self.series if s.kind == "line"]:
+            canvas.polyline(
+                [(sx(x), sy(y)) for x, y in zip(series.x, series.y)],
+                stroke=series.color,
+            )
+        for series in [s for s in self.series if s.kind == "scatter"]:
+            for x, y in zip(series.x, series.y):
+                canvas.circle(sx(x), sy(y), series.marker_size,
+                              fill=series.color, opacity=0.75)
+
+        for y, label, color in self.hlines:
+            canvas.line(sx(x_low), sy(y), sx(x_high), sy(y),
+                        stroke=color, width=1.2, dash="6,4")
+            if label:
+                canvas.text(sx(x_high), sy(y) - 4, label, size=10,
+                            anchor="end", color=color)
+
+        # Decorations + legend.
+        if self.title:
+            canvas.text(self.width / 2, 20, self.title, size=14,
+                        anchor="middle", color="#111")
+        if self.xlabel:
+            canvas.text(self.width / 2, self.height - 10, self.xlabel,
+                        size=11, anchor="middle")
+        if self.ylabel:
+            canvas._elements.append(
+                f'<text x="14" y="{self.height / 2:.0f}" font-size="11" '
+                f'text-anchor="middle" fill="#333" font-family="sans-serif" '
+                f'transform="rotate(-90 14 {self.height / 2:.0f})">'
+                f"{html.escape(self.ylabel)}</text>"
+            )
+        legend_y = self.MARGIN_TOP + 12
+        for series in self.series:
+            if not series.label:
+                continue
+            x0 = self.MARGIN_LEFT + 10
+            canvas.rect(x0, legend_y - 8, 14, 8, fill=series.color, opacity=0.8)
+            canvas.text(x0 + 18, legend_y, series.label, size=10)
+            legend_y += 14
+        return canvas.to_string()
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Render and write the SVG file."""
+        path = Path(path)
+        path.write_text(self.render())
+        return path

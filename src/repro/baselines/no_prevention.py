@@ -1,0 +1,22 @@
+"""The do-nothing baseline: co-location without any mitigation."""
+
+from __future__ import annotations
+
+from repro.sim.host import Host, HostSnapshot
+
+
+class NoPrevention:
+    """A middleware that observes but never acts.
+
+    Runs produced with this controller are the paper's "without
+    Stay-Away" series: full batch throughput, uncontrolled QoS
+    violations. It exists so experiment harnesses can swap controllers
+    without special-casing the unmanaged run.
+    """
+
+    def __init__(self) -> None:
+        self.ticks_observed = 0
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Observe the tick; deliberately take no action."""
+        self.ticks_observed += 1

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro list-workloads
+    python -m repro run --sensitive vlc-streaming --batch cpubomb \
+        --ticks 600 --policy stayaway
+    python -m repro compare --sensitive webservice-memory \
+        --batch twitter-analysis --ticks 800
+    python -m repro template --sensitive vlc-streaming --batch cpubomb \
+        --out /tmp/vlc-map.json
+
+Every command prints plain-text tables; experiments are deterministic
+for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reports import ascii_table
+from repro.experiments.runner import run_scenario, run_trio
+from repro.experiments.scenarios import Scenario
+from repro.workloads.registry import SENSITIVE_WORKLOADS, available_workloads
+
+POLICIES = ("isolated", "unmanaged", "stayaway", "reactive", "qclouds")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stay-Away (Middleware 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list available workload models")
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--sensitive", default="vlc-streaming",
+                       help="sensitive workload name")
+        p.add_argument("--batch", action="append", default=None,
+                       help="batch workload name (repeatable)")
+        p.add_argument("--ticks", type=int, default=1200,
+                       help="run length in ticks")
+        p.add_argument("--batch-start", type=int, default=60,
+                       help="tick at which batch containers start")
+        p.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+    run_parser = sub.add_parser("run", help="run one scenario under one policy")
+    add_scenario_args(run_parser)
+    run_parser.add_argument("--policy", choices=POLICIES, default="stayaway")
+
+    compare_parser = sub.add_parser(
+        "compare", help="run isolated/unmanaged/stay-away and compare"
+    )
+    add_scenario_args(compare_parser)
+
+    template_parser = sub.add_parser(
+        "template", help="learn a map with Stay-Away and save it as JSON"
+    )
+    add_scenario_args(template_parser)
+    template_parser.add_argument("--out", required=True,
+                                 help="output template path")
+    return parser
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    batches = tuple(args.batch) if args.batch else ("cpubomb",)
+    return Scenario(
+        sensitive=args.sensitive,
+        batches=batches,
+        ticks=args.ticks,
+        batch_start=args.batch_start,
+        seed=args.seed,
+    )
+
+
+def cmd_list_workloads(out) -> int:
+    rows = []
+    for name in available_workloads():
+        kind = "sensitive" if name in SENSITIVE_WORKLOADS else "batch"
+        rows.append([name, kind])
+    print(ascii_table(["workload", "kind"], rows), file=out)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace, out) -> int:
+    scenario = _scenario_from_args(args)
+    result = run_scenario(scenario, policy=args.policy)
+    qos = result.qos_values()
+    rows = [
+        ["policy", args.policy],
+        ["ticks", scenario.ticks],
+        ["mean QoS", f"{qos.mean():.3f}" if qos.size else "n/a"],
+        ["violations", f"{result.violation_ratio():.1%}"],
+        ["mean machine utilization", f"{result.utilization().mean():.1%}"],
+        ["batch work done", f"{result.batch_work_done():.0f}"],
+    ]
+    if result.controller is not None:
+        summary = result.controller.summary()
+        rows.extend([
+            ["mapped states", summary["states"]],
+            ["violation states", summary["violation_states"]],
+            ["throttles / resumes",
+             f"{summary['throttles']} / {summary['resumes']}"],
+            ["learned beta", f"{summary['beta']:.3f}"],
+            ["prediction accuracy", f"{summary['outcome_accuracy']:.1%}"],
+        ])
+    print(ascii_table(["metric", "value"], rows), file=out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace, out) -> int:
+    scenario = _scenario_from_args(args)
+    trio = run_trio(scenario)
+    rows = []
+    for run in (trio.isolated, trio.unmanaged, trio.stayaway):
+        qos = run.qos_values()
+        rows.append([
+            run.policy,
+            f"{qos.mean():.3f}" if qos.size else "n/a",
+            f"{run.violation_ratio():.1%}",
+            f"{run.utilization().mean():.1%}",
+        ])
+    print(ascii_table(
+        ["policy", "mean QoS", "violations", "machine util"], rows
+    ), file=out)
+    print(
+        f"gained utilization: unmanaged "
+        f"{trio.utilization.unmanaged_gain_mean:+.1f}pp, stay-away "
+        f"{trio.utilization.stayaway_gain_mean:+.1f}pp",
+        file=out,
+    )
+    return 0
+
+
+def cmd_template(args: argparse.Namespace, out) -> int:
+    scenario = _scenario_from_args(args)
+    result = run_scenario(scenario, policy="stayaway")
+    template = result.controller.export_template(
+        sensitive=args.sensitive, batches=list(scenario.batches)
+    )
+    path = template.save(args.out)
+    print(
+        f"saved template with {template.representatives.shape[0]} states "
+        f"({template.violation_count} violations) to {path}",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return cmd_list_workloads(out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "compare":
+        return cmd_compare(args, out)
+    if args.command == "template":
+        return cmd_template(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,236 @@
+"""The Action step: throttle and resume batch containers.
+
+§3.3 of the paper:
+
+* **Throttle**: send SIGSTOP to the batch application(s) when a
+  transition toward a violation is predicted (or a violation is
+  observed while learning).
+* **Resume**: while throttled only the sensitive application runs; the
+  consecutive mapped states of that isolated execution stay close while
+  the sensitive app remains in the same phase. When the distance
+  between consecutive states exceeds the learning parameter ``beta``
+  (initially 0.01), a phase/workload change happened and the batch
+  application is resumed (SIGCONT).
+* **beta learning**: if a resume is immediately followed by a new
+  throttle, the phase change was too small — ``beta`` is incremented.
+* **Anti-starvation**: if the sensitive app never changes phase, a
+  random probe resume gives the batch app a chance; if it degrades QoS
+  again it is simply paused again.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.config import StayAwayConfig
+from repro.core.events import EventKind, EventLog
+from repro.sim.host import Host
+
+
+class ResumeReason(enum.Enum):
+    """Why the batch applications were last resumed."""
+
+    PHASE_CHANGE = "phase-change"
+    PROBE = "probe"
+
+
+class ThrottleManager:
+    """Owns the throttle state machine and the beta threshold."""
+
+    def __init__(
+        self,
+        config: StayAwayConfig,
+        events: EventLog,
+        rng: Optional[np.random.Generator] = None,
+        target_selector: Optional[Callable[[Host], List[str]]] = None,
+    ) -> None:
+        self.config = config
+        self.events = events
+        self.rng = rng if rng is not None else np.random.default_rng(config.seed + 1)
+        self._target_selector = target_selector
+        self.beta = config.beta_initial
+        self.throttling = False
+        self.throttle_count = 0
+        self.resume_count = 0
+        self.probe_resume_count = 0
+        self._paused_names: List[str] = []
+        self._last_resume_tick: Optional[int] = None
+        self._last_resume_reason: Optional[ResumeReason] = None
+        self._stagnant_periods = 0
+
+    # -- target selection -------------------------------------------------
+    def throttle_targets(self, host: Host) -> List[str]:
+        """Containers to pause when a throttle fires.
+
+        By default: every running batch container. The paper
+        collectively throttles "the batch applications consuming a
+        majority share of resources" (§5); with the logical-VM
+        aggregation every running batch container is part of that
+        collective. A custom ``target_selector`` can widen the set —
+        e.g. the §2.1 priority scheme also targets lower-priority
+        sensitive containers (see :mod:`repro.core.priorities`).
+        """
+        if self._target_selector is not None:
+            return self._target_selector(host)
+        return [
+            container.name
+            for container in host.batch_containers()
+            if container.is_running and not container.app.finished
+        ]
+
+    # -- the per-period decision ---------------------------------------------
+    def step(
+        self,
+        tick: int,
+        host: Host,
+        impending_violation: bool,
+        observed_violation: bool,
+        sensitive_step_distance: Optional[float],
+    ) -> bool:
+        """Run one action round. Returns True when a throttle fired.
+
+        Parameters
+        ----------
+        impending_violation:
+            The predictor's majority vote tripped this period.
+        observed_violation:
+            The sensitive application actually reported a violation
+            this period (reactive path used during early learning).
+        sensitive_step_distance:
+            Distance between the two most recent consecutive
+            sensitive-only mapped states (None when unavailable, e.g.
+            right after throttling).
+        """
+        if not self.config.enabled:
+            return False
+        if self.throttling:
+            if self._consider_extension(
+                tick, host, impending_violation, observed_violation
+            ):
+                return True
+            self._consider_resume(tick, host, sensitive_step_distance)
+            return False
+        return self._consider_throttle(tick, host, impending_violation, observed_violation)
+
+    def _consider_extension(
+        self,
+        tick: int,
+        host: Host,
+        impending_violation: bool,
+        observed_violation: bool,
+    ) -> bool:
+        """Extend an active throttle to batch containers that arrived
+        (or were manually resumed) after the original pause.
+
+        Without this, a new batch job scheduled mid-throttle would run
+        unthrottled while the manager waits to resume the old one.
+        """
+        should = impending_violation or (
+            self.config.act_on_violation and observed_violation
+        )
+        if not should:
+            return False
+        newcomers = [
+            name for name in self.throttle_targets(host) if name not in self._paused_names
+        ]
+        if not newcomers:
+            return False
+        for name in newcomers:
+            host.pause_container(name)
+        self._paused_names.extend(newcomers)
+        self.throttle_count += 1
+        self._stagnant_periods = 0
+        self.events.record(
+            tick,
+            EventKind.THROTTLE,
+            targets=list(newcomers),
+            predicted=impending_violation,
+            observed=observed_violation,
+            extension=True,
+        )
+        return True
+
+    def _consider_throttle(
+        self,
+        tick: int,
+        host: Host,
+        impending_violation: bool,
+        observed_violation: bool,
+    ) -> bool:
+        should = impending_violation or (
+            self.config.act_on_violation and observed_violation
+        )
+        if not should:
+            return False
+        targets = self.throttle_targets(host)
+        if not targets:
+            return False
+        for name in targets:
+            host.pause_container(name)
+        self._paused_names = targets
+        self.throttling = True
+        self.throttle_count += 1
+        self._stagnant_periods = 0
+        self.events.record(
+            tick,
+            EventKind.THROTTLE,
+            targets=list(targets),
+            predicted=impending_violation,
+            observed=observed_violation,
+        )
+        # A throttle right after a phase-change resume means beta was
+        # too permissive: require a bigger phase change next time.
+        if (
+            self._last_resume_tick is not None
+            and self._last_resume_reason is ResumeReason.PHASE_CHANGE
+            and tick - self._last_resume_tick
+            <= self.config.resume_grace * self.config.period
+        ):
+            self.beta += self.config.beta_increment
+            self.events.record(tick, EventKind.BETA_INCREMENT, beta=self.beta)
+        return True
+
+    def _consider_resume(
+        self, tick: int, host: Host, sensitive_step_distance: Optional[float]
+    ) -> None:
+        resumable = [
+            name
+            for name in self._paused_names
+            if name in host.containers and host.container(name).is_paused
+        ]
+        if not resumable:
+            # Batch jobs finished or were removed while paused.
+            self.throttling = False
+            self._paused_names = []
+            return
+
+        if sensitive_step_distance is not None and sensitive_step_distance > self.beta:
+            self._resume(tick, host, resumable, ResumeReason.PHASE_CHANGE)
+            return
+
+        self._stagnant_periods += 1
+        if self._stagnant_periods >= self.config.starvation_patience:
+            if self.rng.uniform() < self.config.probe_probability:
+                self._resume(tick, host, resumable, ResumeReason.PROBE)
+
+    def _resume(
+        self, tick: int, host: Host, names: List[str], reason: ResumeReason
+    ) -> None:
+        for name in names:
+            host.resume_container(name)
+        self.throttling = False
+        self._paused_names = []
+        self._stagnant_periods = 0
+        self._last_resume_tick = tick
+        self._last_resume_reason = reason
+        self.resume_count += 1
+        if reason is ResumeReason.PROBE:
+            self.probe_resume_count += 1
+            self.events.record(tick, EventKind.PROBE_RESUME, targets=list(names))
+        else:
+            self.events.record(
+                tick, EventKind.RESUME, targets=list(names), beta=self.beta
+            )

@@ -1,0 +1,119 @@
+"""Stay-Away configuration.
+
+Defaults follow the paper where it gives numbers (beta starts at 0.01,
+5 uncertainty samples, §3.2.3/§3.3) and otherwise use values calibrated
+on the reproduction experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StayAwayConfig:
+    """All tunables of the Stay-Away runtime.
+
+    Parameters
+    ----------
+    period:
+        Control period in ticks: mapping, prediction and action all run
+        every ``period`` ticks (§3: "runs on each host periodically").
+    n_samples:
+        Candidate next states drawn per prediction. The paper reports
+        that 5 samples already reach >90% accuracy.
+    majority:
+        Fraction of candidates that must land in a violation-range to
+        trigger throttling ("whenever a majority of the generated
+        sample set fall within a violation range").
+    min_steps_for_prediction:
+        Steps a mode's trajectory model needs before its pdfs count as
+        a usable first approximation.
+    dedup_epsilon:
+        Merge radius (normalized metric space) of the representative-
+        sample optimization (§4).
+    refit_interval:
+        Run a full SMACOF refit after this many *new* representatives;
+        between refits new states are placed incrementally.
+    smacof_max_iter:
+        Iteration cap per SMACOF refit.
+    beta_initial / beta_increment:
+        The resume threshold beta: "Initially beta is set to 0.01 ...
+        the system increments beta by a small amount" on premature
+        resumes (§3.3).
+    resume_grace:
+        Periods after a resume within which a new throttle counts as a
+        premature resume (and bumps beta).
+    starvation_patience:
+        Throttled periods without a phase change before random probe
+        resumes are considered (§3.3's anti-starvation factor).
+    probe_probability:
+        Per-period probability of a probe resume once patience ran out.
+    trajectory_window / histogram_bins:
+        Step-feature retention and histogram resolution per mode model.
+    aggregate_batch:
+        Treat all batch containers as one logical VM (§5).
+    act_on_violation:
+        Also throttle reactively when a violation is actually observed
+        (the paper's behaviour in the early learning phase).
+    enabled:
+        When False the controller maps and predicts but never acts —
+        used for the template-validation experiment (§7.3).
+    per_mode_models:
+        Keep one trajectory model per execution mode (the paper's
+        design, §3.2.3). False collapses everything into a single
+        global model — the ablation showing why per-mode matters.
+    radius_law:
+        "rayleigh" (the paper's §3.2.2 law) or "fixed" (ablation:
+        constant ``fixed_radius`` discs around violation-states).
+    fixed_radius:
+        Disc radius used when ``radius_law == "fixed"``.
+    seed:
+        RNG seed for candidate sampling and probe decisions.
+    """
+
+    period: int = 1
+    n_samples: int = 5
+    majority: float = 0.5
+    min_steps_for_prediction: int = 3
+    dedup_epsilon: float = 0.03
+    refit_interval: int = 40
+    smacof_max_iter: int = 40
+    beta_initial: float = 0.01
+    beta_increment: float = 0.005
+    resume_grace: int = 5
+    starvation_patience: int = 20
+    probe_probability: float = 0.15
+    trajectory_window: int = 400
+    histogram_bins: int = 16
+    aggregate_batch: bool = True
+    act_on_violation: bool = True
+    enabled: bool = True
+    per_mode_models: bool = True
+    radius_law: str = "rayleigh"
+    fixed_radius: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if self.n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        if not 0.0 < self.majority <= 1.0:
+            raise ValueError("majority must be in (0, 1]")
+        if self.dedup_epsilon < 0:
+            raise ValueError("dedup_epsilon must be non-negative")
+        if self.beta_initial <= 0:
+            raise ValueError("beta_initial must be positive")
+        if self.beta_increment < 0:
+            raise ValueError("beta_increment must be non-negative")
+        if not 0.0 <= self.probe_probability <= 1.0:
+            raise ValueError("probe_probability must be in [0, 1]")
+        if self.refit_interval < 1:
+            raise ValueError("refit_interval must be >= 1")
+        if self.radius_law not in ("rayleigh", "fixed"):
+            raise ValueError(
+                f"radius_law must be 'rayleigh' or 'fixed', got {self.radius_law!r}"
+            )
+        if self.fixed_radius < 0:
+            raise ValueError("fixed_radius must be non-negative")

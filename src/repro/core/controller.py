@@ -1,0 +1,255 @@
+"""The Stay-Away controller: Mapping -> Prediction -> Action each period.
+
+:class:`StayAway` is a simulation middleware (see
+:class:`~repro.sim.engine.Middleware`): register it on a
+:class:`~repro.sim.engine.SimulationEngine` alongside the host and it
+will monitor, map, predict and throttle exactly as the paper's runtime
+does on a physical host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.action import ThrottleManager
+from repro.core.config import StayAwayConfig
+from repro.core.events import EventKind, EventLog
+from repro.core.mapping import MappingPipeline
+from repro.core.prediction import Prediction, Predictor
+from repro.core.state_space import StateLabel, StateSpace
+from repro.core.template import MapTemplate
+from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.normalize import CapacityNormalizer
+from repro.monitoring.qos import QosTracker
+from repro.sim.host import Host, HostSnapshot
+from repro.trajectory.modes import ExecutionMode, classify_mode
+from repro.workloads.base import Application
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One controller period in the mapped space (for figures/analysis).
+
+    Attributes
+    ----------
+    tick:
+        Tick of the period.
+    coords:
+        Mapped 2-D coordinates.
+    mode:
+        Execution mode during the period.
+    label:
+        Safe/violation label of the underlying state.
+    throttling:
+        Whether batch containers were paused during this period
+        (the "Action status" annotation of Figs. 6-7).
+    """
+
+    tick: int
+    coords: np.ndarray
+    mode: ExecutionMode
+    label: StateLabel
+    throttling: bool
+
+
+class StayAway:
+    """The paper's adaptive interference-mitigation runtime.
+
+    Parameters
+    ----------
+    sensitive_app:
+        The latency-sensitive application whose QoS reports label
+        violation states. (Multiple sensitive apps can be protected by
+        running one controller per app in the paper's priority scheme;
+        the reproduction follows the paper's evaluated configuration of
+        one sensitive app per host.)
+    config:
+        Tunables; defaults follow the paper.
+    template:
+        Optional map template from a previous execution of the same
+        sensitive application (§6).
+    throttle_target_selector:
+        Optional override for which containers a throttle pauses (the
+        §2.1 priority scheme uses this to demote lower-priority
+        sensitive tenants; see :mod:`repro.core.priorities`).
+    violation_detector:
+        Optional replacement for the application-reported QoS channel —
+        any QosTracker-compatible object, e.g.
+        :class:`~repro.monitoring.ipc.IpcViolationDetector` for the
+        §3.1 counter-based alternative that needs no application
+        cooperation.
+    """
+
+    def __init__(
+        self,
+        sensitive_app: Application,
+        config: Optional[StayAwayConfig] = None,
+        template: Optional[MapTemplate] = None,
+        throttle_target_selector=None,
+        violation_detector=None,
+    ) -> None:
+        self.config = config if config is not None else StayAwayConfig()
+        self.sensitive_app = sensitive_app
+        self.events = EventLog()
+        if template is not None:
+            self.state_space = template.build_state_space(
+                refit_interval=self.config.refit_interval,
+                smacof_max_iter=self.config.smacof_max_iter,
+                radius_law=self.config.radius_law,
+                fixed_radius=self.config.fixed_radius,
+            )
+        else:
+            self.state_space = StateSpace(
+                epsilon=self.config.dedup_epsilon,
+                refit_interval=self.config.refit_interval,
+                smacof_max_iter=self.config.smacof_max_iter,
+                radius_law=self.config.radius_law,
+                fixed_radius=self.config.fixed_radius,
+            )
+        self.collector = MetricsCollector(aggregate_batch=self.config.aggregate_batch)
+        if violation_detector is not None:
+            self.qos = violation_detector
+        else:
+            self.qos = QosTracker(sensitive_app)
+        self.predictor = Predictor(self.config)
+        self.throttle = ThrottleManager(
+            self.config, self.events, target_selector=throttle_target_selector
+        )
+        self.mapping: Optional[MappingPipeline] = None
+        self.trajectory: List[TrajectoryPoint] = []
+        if template is not None:
+            self.throttle.beta = template.beta
+        self._prev_coords: Optional[np.ndarray] = None
+        self._prev_mode: Optional[ExecutionMode] = None
+        self.last_prediction: Optional[Prediction] = None
+
+    # -- middleware interface -------------------------------------------------
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """One monitoring tick; runs the full mechanism every period."""
+        self.collector.on_tick(snapshot, host)
+        self.qos.on_tick(snapshot, host)
+        if snapshot.tick % self.config.period != 0:
+            return
+        self._run_period(snapshot, host)
+
+    def _run_period(self, snapshot: HostSnapshot, host: Host) -> None:
+        tick = snapshot.tick
+        if self.mapping is None:
+            normalizer = CapacityNormalizer(
+                host.capacity, vm_count=len(self.collector.vm_names)
+            )
+            self.mapping = MappingPipeline(normalizer, self.state_space)
+
+        violated = self.qos.violation_now
+        if violated:
+            self.events.record(tick, EventKind.VIOLATION)
+
+        mode = self._classify_mode(host)
+
+        # 1. Mapping.
+        mapped = self.mapping.map_measurement(
+            tick, self.collector.latest.values, violated
+        )
+        if mapped.is_new_state:
+            self.events.record(tick, EventKind.NEW_STATE, index=mapped.state_index)
+        if mapped.refitted:
+            self.events.record(
+                tick, EventKind.REFIT, states=len(self.state_space)
+            )
+
+        # 2. Prediction.
+        self.predictor.observe(tick, mode, mapped.coords, self.state_space, violated)
+        prediction = self.predictor.predict(tick, mode, mapped.coords, self.state_space)
+        self.last_prediction = prediction
+        impending = (
+            prediction.impending_violation and mode is ExecutionMode.COLOCATED
+        )
+        if impending:
+            self.events.record(
+                tick, EventKind.PREDICTED_VIOLATION, votes=prediction.votes
+            )
+
+        # 3. Action.
+        sensitive_distance = self._sensitive_step_distance(mode, mapped.coords)
+        throttled_now = self.throttle.step(
+            tick,
+            host,
+            impending_violation=impending,
+            observed_violation=violated and mode is ExecutionMode.COLOCATED,
+            sensitive_step_distance=sensitive_distance,
+        )
+        if throttled_now:
+            # The predicted co-located state will never materialize.
+            self.predictor.invalidate_pending()
+
+        self.trajectory.append(
+            TrajectoryPoint(
+                tick=tick,
+                coords=mapped.coords.copy(),
+                mode=mode,
+                label=mapped.label,
+                throttling=self.throttle.throttling,
+            )
+        )
+        self._prev_coords = mapped.coords.copy()
+        self._prev_mode = mode
+
+    # -- helpers -----------------------------------------------------------------
+    def _classify_mode(self, host: Host) -> ExecutionMode:
+        """Execution mode from this controller's perspective.
+
+        "Sensitive" means the protected application itself; "batch"
+        means anything this controller is allowed to throttle — by
+        default the batch containers, but under the §2.1 priority
+        scheme also lower-priority sensitive tenants.
+        """
+        sensitive_active = any(
+            container.app is self.sensitive_app
+            and container.is_running
+            and not container.app.finished
+            for container in host.containers.values()
+        )
+        batch_active = bool(self.throttle.throttle_targets(host))
+        return classify_mode(sensitive_active, batch_active)
+
+    def _sensitive_step_distance(
+        self, mode: ExecutionMode, coords: np.ndarray
+    ) -> Optional[float]:
+        """Distance between consecutive sensitive-only mapped states.
+
+        Only defined while the system stays in SENSITIVE_ONLY mode for
+        at least two consecutive periods (§3.3's resume criterion).
+        """
+        if (
+            mode is ExecutionMode.SENSITIVE_ONLY
+            and self._prev_mode is ExecutionMode.SENSITIVE_ONLY
+            and self._prev_coords is not None
+        ):
+            return float(np.linalg.norm(coords - self._prev_coords))
+        return None
+
+    # -- results ------------------------------------------------------------------
+    def export_template(self, **metadata) -> MapTemplate:
+        """Snapshot the learned map for reuse in future executions (§6)."""
+        return MapTemplate.from_state_space(
+            self.state_space, beta=self.throttle.beta, metadata=metadata
+        )
+
+    def summary(self) -> dict:
+        """Headline counters for reports and tests."""
+        return {
+            "periods": len(self.trajectory),
+            "states": len(self.state_space),
+            "violation_states": int(self.state_space.violation_indices.size),
+            "violations_observed": self.qos.violation_count,
+            "violation_ratio": self.qos.violation_ratio(),
+            "throttles": self.throttle.throttle_count,
+            "resumes": self.throttle.resume_count,
+            "probe_resumes": self.throttle.probe_resume_count,
+            "beta": self.throttle.beta,
+            "refits": self.state_space.refit_count,
+            "outcome_accuracy": self.predictor.outcome_accuracy(),
+        }

@@ -1,0 +1,133 @@
+"""Multiple sensitive applications with priorities (§2.1).
+
+The paper's constraint is that "either best-effort batch applications
+are scheduled with latency sensitive applications or multiple sensitive
+applications are scheduled with the notion of priorities. ... if
+multiple sensitive applications are co-scheduled Stay-Away can choose
+to migrate or scale resources of the lower priority sensitive
+application."
+
+:class:`PrioritizedStayAway` implements that scheme with the throttling
+action: one Stay-Away controller protects each sensitive application,
+and when the controller of a *higher*-priority application needs to
+act, its throttle targets include both the batch containers and every
+*lower*-priority sensitive container. The lowest-priority application
+is therefore best-effort relative to all others, exactly mirroring the
+two-class case recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.sim.host import Host, HostSnapshot
+from repro.workloads.base import Application
+
+
+@dataclass(frozen=True)
+class PrioritizedApp:
+    """One sensitive application with its priority (higher = stricter QoS)."""
+
+    app: Application
+    priority: int
+
+    def __post_init__(self) -> None:
+        if not self.app.is_sensitive:
+            raise ValueError(
+                f"{self.app.name!r} is not a sensitive application"
+            )
+
+
+class PrioritizedStayAway:
+    """A coordinator of per-application Stay-Away controllers.
+
+    Parameters
+    ----------
+    apps:
+        ``(application, priority)`` pairs; priorities must be unique so
+        the demotion order is total.
+    config:
+        Shared configuration template; each controller gets its own
+        seeded copy (seed offset by its rank) so their RNG streams do
+        not collide.
+    """
+
+    def __init__(
+        self,
+        apps: Sequence[Tuple[Application, int]],
+        config: Optional[StayAwayConfig] = None,
+    ) -> None:
+        if not apps:
+            raise ValueError("need at least one sensitive application")
+        priorities = [priority for _, priority in apps]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError(f"priorities must be unique, got {priorities}")
+        base_config = config if config is not None else StayAwayConfig()
+
+        self.entries: List[PrioritizedApp] = sorted(
+            (PrioritizedApp(app=app, priority=priority) for app, priority in apps),
+            key=lambda entry: -entry.priority,
+        )
+        self._priority_by_app: Dict[str, int] = {
+            entry.app.name: entry.priority for entry in self.entries
+        }
+        self.controllers: Dict[str, StayAway] = {}
+        for rank, entry in enumerate(self.entries):
+            controller_config = StayAwayConfig(
+                **{**base_config.__dict__, "seed": base_config.seed + rank}
+            )
+            selector = self._make_selector(entry.priority)
+            self.controllers[entry.app.name] = StayAway(
+                entry.app,
+                config=controller_config,
+                throttle_target_selector=selector,
+            )
+
+    def _make_selector(self, protected_priority: int):
+        """Throttle targets for a controller protecting one priority level."""
+
+        def selector(host: Host) -> List[str]:
+            targets: List[str] = []
+            for container in host.containers.values():
+                if not container.is_running or container.app.finished:
+                    continue
+                if not container.sensitive:
+                    targets.append(container.name)
+                    continue
+                victim_priority = self._priority_by_app.get(container.app.name)
+                if (
+                    victim_priority is not None
+                    and victim_priority < protected_priority
+                ):
+                    targets.append(container.name)
+            return targets
+
+        return selector
+
+    def controller_for(self, app_name: str) -> StayAway:
+        """The controller protecting one application."""
+        return self.controllers[app_name]
+
+    def priority_of(self, app_name: str) -> int:
+        """Priority of one registered application."""
+        return self._priority_by_app[app_name]
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Run every controller, highest priority first.
+
+        Priority order matters: a high-priority controller's throttle
+        this period removes its victims from lower-priority
+        controllers' views immediately.
+        """
+        for entry in self.entries:
+            self.controllers[entry.app.name].on_tick(snapshot, host)
+
+    def summary(self) -> Dict[str, dict]:
+        """Per-application controller summaries."""
+        return {
+            name: controller.summary()
+            for name, controller in self.controllers.items()
+        }

@@ -1,0 +1,248 @@
+"""The 2-D state space: mapped states, labels and violation-ranges.
+
+This module owns the geometry of §3.2:
+
+* every deduplicated measurement vector is a *mapped-state* with 2-D
+  coordinates;
+* states observed during a reported QoS violation are *violation-states*
+  (sticky: a state seen violating stays a violation-state);
+* around every violation-state lives a *violation-range* disc whose
+  radius follows the Rayleigh-scaled law of §3.2.2:
+
+      R = d * exp(-d^2 / (2 c^2))
+
+  where ``d`` is the distance to the nearest safe-state and ``c`` is
+  the median of the coordinate ranges of the mapped space. The radius
+  grows with ``d`` up to ``d = c`` and fades beyond, so the
+  exploration-range opens up when known-safe territory is far away and
+  collapses when safe states crowd in (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.mds.dedup import RepresentativeSet
+from repro.mds.distances import pairwise_distances, point_distances
+from repro.mds.incremental import place_point, procrustes_align
+from repro.mds.smacof import smacof
+from repro.mds.stress import normalized_stress
+
+
+class StateLabel(enum.Enum):
+    """Safe vs violation labelling of mapped states."""
+
+    SAFE = "safe"
+    VIOLATION = "violation"
+
+
+def violation_range_radius(d: float, c: float) -> float:
+    """The paper's violation-range radius ``R = d * exp(-d^2 / (2 c^2))``.
+
+    Parameters
+    ----------
+    d:
+        Distance between the violation-state and its nearest safe-state.
+    c:
+        Rayleigh scale: the median of the coordinate ranges of the
+        mapped space. ``c <= 0`` (degenerate map) gives radius 0.
+    """
+    if d < 0:
+        raise ValueError(f"distance must be non-negative, got {d}")
+    if c <= 0 or d == 0:
+        return 0.0
+    return float(d * np.exp(-(d * d) / (2.0 * c * c)))
+
+
+class StateSpace:
+    """Deduplicated mapped states with labels and violation-ranges.
+
+    Parameters
+    ----------
+    epsilon:
+        Dedup merge radius in the normalized high-dimensional space.
+    refit_interval:
+        Full SMACOF refit after this many new representatives.
+    smacof_max_iter:
+        Iteration cap for refits.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 0.03,
+        refit_interval: int = 40,
+        smacof_max_iter: int = 40,
+        radius_law: str = "rayleigh",
+        fixed_radius: float = 0.05,
+    ) -> None:
+        if radius_law not in ("rayleigh", "fixed"):
+            raise ValueError(
+                f"radius_law must be 'rayleigh' or 'fixed', got {radius_law!r}"
+            )
+        self.representatives = RepresentativeSet(epsilon=epsilon)
+        self.coords: np.ndarray = np.empty((0, 2))
+        self.labels: List[StateLabel] = []
+        self.refit_interval = refit_interval
+        self.smacof_max_iter = smacof_max_iter
+        self.radius_law = radius_law
+        self.fixed_radius = fixed_radius
+        self.refit_count = 0
+        self._new_since_refit = 0
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    @property
+    def violation_indices(self) -> np.ndarray:
+        """Indices of violation-states."""
+        return np.asarray(
+            [i for i, label in enumerate(self.labels) if label is StateLabel.VIOLATION],
+            dtype=int,
+        )
+
+    @property
+    def safe_indices(self) -> np.ndarray:
+        """Indices of safe-states."""
+        return np.asarray(
+            [i for i, label in enumerate(self.labels) if label is StateLabel.SAFE],
+            dtype=int,
+        )
+
+    def coordinate_scale(self) -> float:
+        """The Rayleigh scale ``c``: median of the coordinate ranges.
+
+        For a 2-D map this is the median (mean) of the x-range and the
+        y-range of all mapped states.
+        """
+        if len(self) < 2:
+            return 0.0
+        ranges = self.coords.max(axis=0) - self.coords.min(axis=0)
+        return float(np.median(ranges))
+
+    # -- growth ------------------------------------------------------------
+    def add_sample(
+        self, normalized: np.ndarray, violated: bool
+    ) -> Tuple[int, bool, bool]:
+        """Absorb one normalized measurement vector.
+
+        Returns ``(state_index, is_new_state, refitted)``. A sample
+        merging into an existing representative reuses its coordinates;
+        a violation observation relabels the state stickily.
+        """
+        index, is_new = self.representatives.assign(normalized)
+        refitted = False
+        if is_new:
+            coords = self._place_new(normalized)
+            self.coords = (
+                np.vstack([self.coords, coords[None, :]])
+                if self.coords.size
+                else coords[None, :]
+            )
+            self.labels.append(StateLabel.SAFE)
+            self._new_since_refit += 1
+            if self._new_since_refit >= self.refit_interval:
+                self.refit()
+                refitted = True
+        if violated:
+            self.labels[index] = StateLabel.VIOLATION
+        return index, is_new, refitted
+
+    def _place_new(self, normalized: np.ndarray) -> np.ndarray:
+        """2-D coordinates for a brand-new representative."""
+        n_existing = len(self)
+        if n_existing == 0:
+            return np.zeros(2)
+        deltas = self.representatives.distances_from(normalized)[:-1]
+        return place_point(self.coords, deltas)
+
+    def refit(self) -> float:
+        """Full SMACOF refit, Procrustes-aligned to the previous map.
+
+        Returns the normalized stress of the refit embedding.
+        """
+        n = len(self)
+        if n < 3:
+            self._new_since_refit = 0
+            return 0.0
+        target = pairwise_distances(self.representatives.points)
+        result = smacof(
+            target,
+            n_components=2,
+            init=self.coords,
+            max_iter=self.smacof_max_iter,
+        )
+        aligned, _, _ = procrustes_align(self.coords, result.embedding)
+        self.coords = aligned
+        self.refit_count += 1
+        self._new_since_refit = 0
+        return normalized_stress(self.coords, target)
+
+    def stress(self) -> float:
+        """Current normalized stress of the map (0 for tiny maps)."""
+        if len(self) < 3:
+            return 0.0
+        target = pairwise_distances(self.representatives.points)
+        return normalized_stress(self.coords, target)
+
+    # -- violation-range geometry ------------------------------------------
+    def nearest_safe_distance(self, point: np.ndarray) -> float:
+        """2-D distance from ``point`` to the nearest safe-state.
+
+        ``inf`` when no safe state exists yet.
+        """
+        safe = self.safe_indices
+        if safe.size == 0:
+            return float("inf")
+        distances = point_distances(np.asarray(point, float), self.coords[safe])
+        return float(distances.min())
+
+    def _radius_for(self, index: int, c: float) -> float:
+        """Violation-range radius for one violation-state."""
+        if self.radius_law == "fixed":
+            return self.fixed_radius
+        d = self.nearest_safe_distance(self.coords[index])
+        if np.isinf(d):
+            # No safe knowledge at all: fall back to the Rayleigh peak
+            # radius so unexplored space is treated cautiously.
+            return c * float(np.exp(-0.5)) if c > 0 else 0.0
+        return violation_range_radius(d, c)
+
+    def violation_ranges(self) -> List[Tuple[np.ndarray, float]]:
+        """``(center, radius)`` for every violation-state's range disc."""
+        c = self.coordinate_scale()
+        return [
+            (self.coords[index].copy(), float(self._radius_for(index, c)))
+            for index in self.violation_indices
+        ]
+
+    def in_violation_range(self, point: np.ndarray) -> bool:
+        """True when ``point`` lies inside any violation-range disc.
+
+        A violation-state's own disc always contains its center, even
+        when the computed radius is 0 (an exactly revisited violation
+        state is, by definition, a violation).
+        """
+        point = np.asarray(point, dtype=float)
+        violations = self.violation_indices
+        if violations.size == 0:
+            return False
+        centers = self.coords[violations]
+        distances = point_distances(point, centers)
+        if np.any(distances <= 1e-12):
+            return True
+        c = self.coordinate_scale()
+        for center_distance, index in zip(distances, violations):
+            if center_distance <= self._radius_for(index, c):
+                return True
+        return False
+
+    def violation_vote(self, candidates: np.ndarray) -> int:
+        """How many candidate points fall inside a violation-range."""
+        candidates = np.asarray(candidates, dtype=float)
+        if candidates.ndim != 2 or candidates.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) candidates, got {candidates.shape}")
+        return sum(1 for candidate in candidates if self.in_violation_range(candidate))

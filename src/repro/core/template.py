@@ -1,0 +1,147 @@
+"""Map templates: reuse a learned map across executions (§6).
+
+"In case of repeatable latency sensitive applications, the
+violation-states in the generated map from a previous execution can be
+used as a starting point and is a valid map for a new execution with a
+different batch application." The mapped states are representative of
+load at the *resource* level, so they transfer across batch co-tenants.
+
+A :class:`MapTemplate` serializes the representative vectors, their 2-D
+coordinates, their labels and the learned beta; loading it pre-seeds a
+fresh :class:`~repro.core.state_space.StateSpace`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.core.state_space import StateLabel, StateSpace
+
+
+@dataclass
+class MapTemplate:
+    """A serializable snapshot of a learned state-space map.
+
+    Attributes
+    ----------
+    representatives:
+        ``(n, d)`` normalized high-dimensional representative vectors.
+    coords:
+        ``(n, 2)`` mapped coordinates.
+    labels:
+        Safe/violation label per state.
+    epsilon:
+        Dedup radius the map was built with (must match on reuse).
+    beta:
+        The learned resume threshold at capture time.
+    metadata:
+        Free-form provenance (workloads, ticks, ...).
+    """
+
+    representatives: np.ndarray
+    coords: np.ndarray
+    labels: List[StateLabel]
+    epsilon: float
+    beta: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.representatives = np.asarray(self.representatives, dtype=float)
+        self.coords = np.asarray(self.coords, dtype=float)
+        n = self.representatives.shape[0]
+        if self.coords.shape != (n, 2):
+            raise ValueError(
+                f"coords shape {self.coords.shape} does not match {n} representatives"
+            )
+        if len(self.labels) != n:
+            raise ValueError(f"{len(self.labels)} labels for {n} representatives")
+
+    @property
+    def violation_count(self) -> int:
+        """Number of violation-states captured in the template."""
+        return sum(1 for label in self.labels if label is StateLabel.VIOLATION)
+
+    # -- capture -----------------------------------------------------------
+    @classmethod
+    def from_state_space(
+        cls,
+        state_space: StateSpace,
+        beta: float,
+        metadata: Union[Dict[str, Any], None] = None,
+    ) -> "MapTemplate":
+        """Snapshot a live state space."""
+        return cls(
+            representatives=state_space.representatives.points.copy(),
+            coords=state_space.coords.copy(),
+            labels=list(state_space.labels),
+            epsilon=state_space.representatives.epsilon,
+            beta=beta,
+            metadata=dict(metadata or {}),
+        )
+
+    # -- reuse ---------------------------------------------------------------
+    def build_state_space(
+        self,
+        refit_interval: int = 40,
+        smacof_max_iter: int = 40,
+        radius_law: str = "rayleigh",
+        fixed_radius: float = 0.05,
+    ) -> StateSpace:
+        """A fresh state space pre-seeded with this template's map."""
+        space = StateSpace(
+            epsilon=self.epsilon,
+            refit_interval=refit_interval,
+            smacof_max_iter=smacof_max_iter,
+            radius_law=radius_law,
+            fixed_radius=fixed_radius,
+        )
+        for row, label in zip(self.representatives, self.labels):
+            index, is_new = space.representatives.assign(row)
+            if not is_new:
+                raise ValueError(
+                    "template representatives are not epsilon-separated; "
+                    f"row {index} merged on reload"
+                )
+            space.labels.append(label)
+        space.coords = self.coords.copy()
+        return space
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary form."""
+        return {
+            "representatives": self.representatives.tolist(),
+            "coords": self.coords.tolist(),
+            "labels": [label.value for label in self.labels],
+            "epsilon": self.epsilon,
+            "beta": self.beta,
+            "metadata": self.metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MapTemplate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            representatives=np.asarray(data["representatives"], dtype=float),
+            coords=np.asarray(data["coords"], dtype=float),
+            labels=[StateLabel(value) for value in data["labels"]],
+            epsilon=float(data["epsilon"]),
+            beta=float(data["beta"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the template as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MapTemplate":
+        """Read a template previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,51 @@
+"""Experiment harness: scenario builders and standard runners.
+
+Every evaluation figure/table boils down to "co-locate sensitive app X
+with batch app(s) Y under trace Z and compare policies". This package
+centralizes that recipe so the benchmarks, the examples and the
+integration tests all drive the exact same machinery:
+
+* :class:`~repro.experiments.scenarios.Scenario` — a declarative
+  description of one co-location experiment;
+* :mod:`repro.experiments.runner` — run a scenario isolated / unmanaged
+  / under Stay-Away / under the ablation baselines, returning aligned
+  QoS and utilization series.
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    TrioResult,
+    run_isolated,
+    run_reactive,
+    run_scenario,
+    run_stayaway,
+    run_trio,
+    run_unmanaged,
+)
+from repro.experiments.recorder import RunRecorder, TickRecord
+from repro.experiments.scenarios import BuiltScenario, Scenario
+from repro.experiments.sweep import (
+    SweepPoint,
+    sweep_config,
+    sweep_scenarios,
+    sweep_table,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "RunRecorder",
+    "RunResult",
+    "Scenario",
+    "SweepPoint",
+    "TickRecord",
+    "TrioResult",
+    "sweep_config",
+    "sweep_scenarios",
+    "sweep_table",
+    "run_isolated",
+    "run_reactive",
+    "run_scenario",
+    "run_stayaway",
+    "run_trio",
+    "run_unmanaged",
+]

@@ -1,0 +1,136 @@
+"""Run recording: serialize a run's observable history for offline analysis.
+
+A :class:`RunRecorder` middleware captures per-tick host usage, QoS and
+controller state into plain records that can be written to JSON-lines
+and reloaded later — useful for comparing runs across code versions,
+shipping reproduction artifacts, or debugging a single interesting run
+without rerunning it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.controller import StayAway
+from repro.sim.host import Host, HostSnapshot
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """One tick's observable state, JSON-safe."""
+
+    tick: int
+    usage: Dict[str, Dict[str, float]]
+    states: Dict[str, str]
+    swap_ratio: float
+    qos: Optional[float] = None
+    violated: Optional[bool] = None
+    throttling: Optional[bool] = None
+    mapped_coords: Optional[List[float]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tick": self.tick,
+            "usage": self.usage,
+            "states": self.states,
+            "swap_ratio": self.swap_ratio,
+            "qos": self.qos,
+            "violated": self.violated,
+            "throttling": self.throttling,
+            "mapped_coords": self.mapped_coords,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TickRecord":
+        return cls(
+            tick=int(data["tick"]),
+            usage={k: dict(v) for k, v in data["usage"].items()},
+            states=dict(data["states"]),
+            swap_ratio=float(data["swap_ratio"]),
+            qos=data.get("qos"),
+            violated=data.get("violated"),
+            throttling=data.get("throttling"),
+            mapped_coords=data.get("mapped_coords"),
+        )
+
+
+class RunRecorder:
+    """Middleware capturing every tick into :class:`TickRecord` entries.
+
+    Parameters
+    ----------
+    controller:
+        Optional Stay-Away controller; when given, QoS, violation,
+        throttle status and the latest mapped coordinates are recorded
+        alongside the raw host state.
+    """
+
+    def __init__(self, controller: Optional[StayAway] = None) -> None:
+        self.controller = controller
+        self.records: List[TickRecord] = []
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Capture one tick (register after the controller middleware)."""
+        usage = {
+            name: {
+                resource.value: vector.get(resource) for resource in Resource
+            }
+            for name, vector in snapshot.usage.items()
+        }
+        states = {name: state.value for name, state in snapshot.states.items()}
+        qos = violated = throttling = coords = None
+        if self.controller is not None:
+            report = self.controller.qos.last_report
+            if report is not None:
+                qos = report.value
+                violated = report.violated
+            throttling = self.controller.throttle.throttling
+            if self.controller.trajectory:
+                last = self.controller.trajectory[-1]
+                if last.tick == snapshot.tick:
+                    coords = [float(last.coords[0]), float(last.coords[1])]
+        self.records.append(
+            TickRecord(
+                tick=snapshot.tick,
+                usage=usage,
+                states=states,
+                swap_ratio=snapshot.swap_ratio,
+                qos=qos,
+                violated=violated,
+                throttling=throttling,
+                mapped_coords=coords,
+            )
+        )
+
+    # -- persistence --------------------------------------------------------
+    def save_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write one JSON object per tick."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+        return path
+
+    @staticmethod
+    def load_jsonl(path: Union[str, Path]) -> List[TickRecord]:
+        """Read records written by :meth:`save_jsonl`."""
+        records: List[TickRecord] = []
+        with Path(path).open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(TickRecord.from_dict(json.loads(line)))
+        return records
+
+    # -- quick accessors ----------------------------------------------------
+    def qos_values(self) -> List[float]:
+        """All non-None QoS readings in tick order."""
+        return [r.qos for r in self.records if r.qos is not None]
+
+    def throttled_ticks(self) -> List[int]:
+        """Ticks during which the controller was throttling."""
+        return [r.tick for r in self.records if r.throttling]

@@ -1,0 +1,112 @@
+"""Parameter sweeps over scenarios and configurations.
+
+The ablation benches and the sensitivity analyses all follow the same
+pattern: vary one knob, rerun the scenario, collect a few scalar
+metrics. :func:`sweep_config` and :func:`sweep_scenarios` centralize
+that loop with deterministic seeding and uniform result records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import StayAwayConfig
+from repro.experiments.runner import RunResult, run_scenario
+from repro.experiments.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep evaluation.
+
+    Attributes
+    ----------
+    label:
+        Human-readable knob setting ("n_samples=5").
+    value:
+        The raw knob value.
+    metrics:
+        Extracted scalar metrics.
+    """
+
+    label: str
+    value: Any
+    metrics: Dict[str, float]
+
+
+def default_metrics(result: RunResult) -> Dict[str, float]:
+    """The standard metric set: QoS, violations, utilization, batch work."""
+    qos = result.qos_values()
+    metrics = {
+        "violation_ratio": result.violation_ratio(),
+        "mean_utilization": float(result.utilization().mean()),
+        "batch_work": result.batch_work_done(),
+    }
+    metrics["mean_qos"] = float(qos.mean()) if qos.size else 0.0
+    if result.controller is not None:
+        metrics["outcome_accuracy"] = result.controller.predictor.outcome_accuracy()
+        metrics["throttles"] = float(result.controller.throttle.throttle_count)
+        metrics["beta"] = result.controller.throttle.beta
+    return metrics
+
+
+def sweep_config(
+    scenario: Scenario,
+    parameter: str,
+    values: Sequence[Any],
+    base_config: Optional[StayAwayConfig] = None,
+    metrics: Callable[[RunResult], Dict[str, float]] = default_metrics,
+) -> List[SweepPoint]:
+    """Sweep one StayAwayConfig field across ``values``.
+
+    Each point reruns the scenario under Stay-Away with only that field
+    changed (plus a seed that stays fixed, so differences are
+    attributable to the knob).
+    """
+    base = base_config if base_config is not None else StayAwayConfig()
+    if parameter not in {f.name for f in dataclasses.fields(StayAwayConfig)}:
+        raise ValueError(f"unknown StayAwayConfig field {parameter!r}")
+    points: List[SweepPoint] = []
+    for value in values:
+        config = dataclasses.replace(base, **{parameter: value})
+        result = run_scenario(scenario, policy="stayaway", config=config)
+        points.append(
+            SweepPoint(
+                label=f"{parameter}={value}",
+                value=value,
+                metrics=metrics(result),
+            )
+        )
+    return points
+
+
+def sweep_scenarios(
+    scenarios: Iterable[Tuple[str, Scenario]],
+    policy: str = "stayaway",
+    config: Optional[StayAwayConfig] = None,
+    metrics: Callable[[RunResult], Dict[str, float]] = default_metrics,
+) -> List[SweepPoint]:
+    """Evaluate one policy across many ``(label, scenario)`` pairs."""
+    points: List[SweepPoint] = []
+    for label, scenario in scenarios:
+        result = run_scenario(scenario, policy=policy, config=config)
+        points.append(
+            SweepPoint(label=label, value=label, metrics=metrics(result))
+        )
+    return points
+
+
+def sweep_table(points: Sequence[SweepPoint]) -> str:
+    """Render sweep points as an aligned text table."""
+    from repro.analysis.reports import ascii_table
+
+    if not points:
+        return "(empty sweep)"
+    metric_names = sorted(points[0].metrics)
+    rows = [
+        [point.label] + [f"{point.metrics.get(name, 0.0):.4g}" for name in metric_names]
+        for point in points
+    ]
+    return ascii_table(["setting"] + metric_names, rows)

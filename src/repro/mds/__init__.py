@@ -1,0 +1,49 @@
+"""Multi-Dimensional Scaling, implemented from scratch.
+
+The paper maps high-dimensional measurement vectors onto a 2-D plane
+with MDS so that "the relative distances between points in the plane
+correspond to the relative distances in the high dimensional space"
+(§2.2), minimizing the stress loss with the SMACOF majorization
+algorithm. This package provides:
+
+* :func:`~repro.mds.distances.pairwise_distances` — Euclidean distance
+  matrices;
+* :func:`~repro.mds.classical.classical_mds` — Torgerson's classical
+  scaling (the SMACOF initializer);
+* :func:`~repro.mds.smacof.smacof` — stress majorization via the
+  Guttman transform;
+* :func:`~repro.mds.stress.raw_stress` / ``normalized_stress`` — loss
+  diagnostics (§5 uses the stress value to judge map quality);
+* :func:`~repro.mds.incremental.place_point` — out-of-sample placement
+  of a new state against an anchored map (the low-overhead incremental
+  MDS of §4);
+* :func:`~repro.mds.incremental.procrustes_align` — map-continuity
+  alignment between refits;
+* :class:`~repro.mds.dedup.RepresentativeSet` — the paper's §4
+  optimization: collapse near-identical samples onto one representative
+  to keep the SMACOF observation matrix small.
+"""
+
+from repro.mds.classical import classical_mds
+from repro.mds.dedup import RepresentativeSet
+from repro.mds.distances import pairwise_distances, point_distances
+from repro.mds.incremental import place_point, procrustes_align
+from repro.mds.landmark import landmark_mds, landmark_mds_fit, select_landmarks
+from repro.mds.smacof import SmacofResult, smacof
+from repro.mds.stress import normalized_stress, raw_stress
+
+__all__ = [
+    "RepresentativeSet",
+    "SmacofResult",
+    "classical_mds",
+    "landmark_mds",
+    "landmark_mds_fit",
+    "normalized_stress",
+    "pairwise_distances",
+    "place_point",
+    "point_distances",
+    "procrustes_align",
+    "raw_stress",
+    "select_landmarks",
+    "smacof",
+]

@@ -1,0 +1,58 @@
+"""Classical (Torgerson) multidimensional scaling.
+
+Used as the SMACOF initializer: double-center the squared distance
+matrix into a Gram matrix and take the top eigenpairs. For Euclidean
+inputs this is exact up to rotation; for general dissimilarities it is
+a good starting configuration for stress majorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def classical_mds(distances: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Embed a distance matrix into ``n_components`` dimensions.
+
+    Parameters
+    ----------
+    distances:
+        Symmetric ``(n, n)`` dissimilarity matrix with zero diagonal.
+    n_components:
+        Output dimensionality (the paper uses 2, §3.1).
+
+    Returns
+    -------
+    ``(n, n_components)`` coordinates, centered at the origin.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"distances must be square, got shape {distances.shape}")
+    if n_components < 1:
+        raise ValueError("n_components must be >= 1")
+    n = distances.shape[0]
+    if n == 0:
+        return np.empty((0, n_components))
+    if n == 1:
+        return np.zeros((1, n_components))
+
+    # Double centering: B = -1/2 * J D^2 J with J = I - (1/n) 11^T.
+    d2 = distances**2
+    row_mean = d2.mean(axis=1, keepdims=True)
+    col_mean = d2.mean(axis=0, keepdims=True)
+    grand_mean = d2.mean()
+    gram = -0.5 * (d2 - row_mean - col_mean + grand_mean)
+
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1][:n_components]
+    top_values = eigenvalues[order]
+    top_vectors = eigenvectors[:, order]
+
+    # Negative eigenvalues (non-Euclidean dissimilarities) contribute
+    # nothing: clamp to zero so the sqrt stays real.
+    scales = np.sqrt(np.clip(top_values, 0.0, None))
+    coords = top_vectors * scales[None, :]
+    if coords.shape[1] < n_components:
+        pad = np.zeros((n, n_components - coords.shape[1]))
+        coords = np.hstack([coords, pad])
+    return coords

@@ -1,0 +1,111 @@
+"""Representative-sample reduction (the paper's §4 optimization).
+
+"The cost of the algorithm is quadratic and we significantly reduce
+this overhead by choosing one representative sample from the set of
+samples that are very close to each other (Euclidean distance) and
+discarding other similar samples."
+
+:class:`RepresentativeSet` keeps one representative per epsilon-ball in
+the (normalized) high-dimensional metric space. New samples either
+*merge* into an existing representative — reusing its identity and its
+2-D mapping — or become a new representative that must be placed on the
+map. Merge counts are retained so dense regions stay identifiable
+(darker points in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.mds.distances import point_distances
+
+
+class RepresentativeSet:
+    """Epsilon-ball deduplication over high-dimensional samples.
+
+    Parameters
+    ----------
+    epsilon:
+        Merge radius in the normalized metric space. Samples within
+        ``epsilon`` of an existing representative are absorbed by it.
+    dimension:
+        Expected sample dimensionality (checked on every insert).
+    """
+
+    def __init__(self, epsilon: float, dimension: Optional[int] = None) -> None:
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+        self.epsilon = epsilon
+        self.dimension = dimension
+        self._points: List[np.ndarray] = []
+        self._counts: List[int] = []
+        self._matrix: Optional[np.ndarray] = None  # lazily rebuilt cache
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of raw samples absorbed by each representative."""
+        return np.asarray(self._counts, dtype=int)
+
+    @property
+    def points(self) -> np.ndarray:
+        """``(n_representatives, dimension)`` matrix of representatives."""
+        if not self._points:
+            return np.empty((0, self.dimension or 0))
+        if self._matrix is None or self._matrix.shape[0] != len(self._points):
+            self._matrix = np.vstack(self._points)
+        return self._matrix
+
+    def nearest(self, sample: np.ndarray) -> Tuple[int, float]:
+        """Index of and distance to the nearest representative.
+
+        Raises ``RuntimeError`` when the set is empty.
+        """
+        if not self._points:
+            raise RuntimeError("representative set is empty")
+        distances = point_distances(np.asarray(sample, float), self.points)
+        index = int(np.argmin(distances))
+        return index, float(distances[index])
+
+    def assign(self, sample: np.ndarray) -> Tuple[int, bool]:
+        """Insert a sample; return ``(representative_index, is_new)``.
+
+        ``is_new`` is True when the sample opened a new epsilon-ball
+        (and therefore needs a fresh 2-D placement downstream).
+        """
+        sample = np.asarray(sample, dtype=float)
+        if sample.ndim != 1:
+            raise ValueError(f"samples must be 1-D vectors, got shape {sample.shape}")
+        if self.dimension is None:
+            self.dimension = sample.shape[0]
+        elif sample.shape[0] != self.dimension:
+            raise ValueError(
+                f"sample dimension {sample.shape[0]} != expected {self.dimension}"
+            )
+
+        if self._points:
+            index, distance = self.nearest(sample)
+            if distance <= self.epsilon:
+                self._counts[index] += 1
+                return index, False
+
+        self._points.append(sample.copy())
+        self._counts.append(1)
+        self._matrix = None
+        return len(self._points) - 1, True
+
+    def distances_from(self, sample: np.ndarray) -> np.ndarray:
+        """High-dimensional distances from a sample to every representative."""
+        if not self._points:
+            return np.empty(0)
+        return point_distances(np.asarray(sample, float), self.points)
+
+    def compression_ratio(self) -> float:
+        """Raw samples per representative (>= 1.0; higher = more savings)."""
+        if not self._points:
+            return 1.0
+        return float(sum(self._counts) / len(self._points))

@@ -1,0 +1,235 @@
+"""Incremental (out-of-sample) MDS placement and map alignment.
+
+Refitting SMACOF from scratch every period is quadratic in the number
+of observed states; the paper notes that incremental MDS variants exist
+"with high performance and very low overhead" (§4, citing [32, 35]).
+We implement the standard single-point majorization: hold the existing
+("anchor") map fixed and iterate the Guttman update for the new point
+only, which minimizes
+
+    sum_j (|x - y_j| - delta_j)^2
+
+over the new point's 2-D coordinates ``x``, where ``delta_j`` are the
+high-dimensional distances from the new sample to each anchor.
+
+:func:`procrustes_align` keeps the map visually and semantically stable
+across occasional full refits: the refit configuration is rotated /
+reflected / translated onto the previous one, so violation-range
+geometry carries over.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mds.distances import point_distances
+
+
+def place_point(
+    anchors_2d: np.ndarray,
+    deltas: np.ndarray,
+    init: Optional[np.ndarray] = None,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Place one new point against a fixed 2-D anchor configuration.
+
+    Parameters
+    ----------
+    anchors_2d:
+        ``(n, 2)`` fixed coordinates of already-mapped states.
+    deltas:
+        ``(n,)`` target (high-dimensional) distances from the new
+        sample to each anchor.
+    init:
+        Starting guess; defaults to the anchor with the smallest
+        target distance (nudged off it to avoid a zero gradient).
+    """
+    anchors = np.asarray(anchors_2d, dtype=float)
+    deltas = np.asarray(deltas, dtype=float)
+    if anchors.ndim != 2:
+        raise ValueError(f"anchors must be 2-D, got shape {anchors.shape}")
+    n = anchors.shape[0]
+    if deltas.shape != (n,):
+        raise ValueError(f"expected {n} deltas, got shape {deltas.shape}")
+    if np.any(deltas < 0):
+        raise ValueError("target distances must be non-negative")
+    if n == 0:
+        return np.zeros(2)
+    if n == 1:
+        # Any point at distance delta works; pick along +x for determinism.
+        return anchors[0] + np.array([deltas[0], 0.0])
+
+    if init is not None:
+        starts = [np.array(init, dtype=float, copy=True)]
+    else:
+        # Multi-start: symmetric anchor configurations (e.g. collinear
+        # anchors) have mirror optima separated by a slow-escape ridge;
+        # starting on several sides of the nearest anchor avoids it.
+        nearest = int(np.argmin(deltas))
+        base = anchors[nearest]
+        scale = max(float(deltas.max()), 1e-3)
+        starts = [
+            base + np.array([1e-6, 1e-6]),
+            base + np.array([scale, 0.0]),
+            base + np.array([-scale, 0.0]),
+            base + np.array([0.0, scale]),
+            base + np.array([0.0, -scale]),
+            anchors.mean(axis=0),
+        ]
+        starts.extend(_trilateration_starts(anchors, deltas))
+
+    best_x: Optional[np.ndarray] = None
+    best_stress = np.inf
+    for start in starts:
+        x = _optimize_placement(start, anchors, deltas, max_iter, tol)
+        stress = placement_stress(x, anchors, deltas)
+        if stress < best_stress:
+            best_stress = stress
+            best_x = x
+    assert best_x is not None
+    return best_x
+
+
+def _trilateration_starts(anchors: np.ndarray, deltas: np.ndarray) -> list:
+    """Two-circle intersection starts from the widest anchor pair.
+
+    Multilateration stress is non-convex and has genuine local minima;
+    when the target distances are realizable, the intersections of the
+    two widest anchors' circles contain the global optimum, so seeding
+    the local optimizer there makes placement exact.
+    """
+    n = anchors.shape[0]
+    if n < 2:
+        return []
+    # Widest-separated anchor pair.
+    best_pair = None
+    best_sep = -1.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            sep = float(np.linalg.norm(anchors[i] - anchors[j]))
+            if sep > best_sep:
+                best_sep = sep
+                best_pair = (i, j)
+    if best_pair is None or best_sep <= 1e-12:
+        return []
+    i, j = best_pair
+    a, b = anchors[i], anchors[j]
+    ra, rb = float(deltas[i]), float(deltas[j])
+    d = best_sep
+    # Projection of the intersection chord onto the a->b axis.
+    along = (ra * ra - rb * rb + d * d) / (2.0 * d)
+    height_sq = ra * ra - along * along
+    axis = (b - a) / d
+    normal = np.array([-axis[1], axis[0]])
+    foot = a + along * axis
+    if height_sq <= 0:
+        return [foot]
+    height = np.sqrt(height_sq)
+    return [foot + height * normal, foot - height * normal]
+
+
+def _optimize_placement(
+    x0: np.ndarray,
+    anchors: np.ndarray,
+    deltas: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> np.ndarray:
+    """Majorization iterations followed by a Gauss-Newton polish."""
+    x = np.array(x0, dtype=float, copy=True)
+    for _ in range(max_iter):
+        distances = point_distances(x, anchors)
+        safe = np.maximum(distances, 1e-12)
+        # Single-point Guttman update: pull each anchor's contribution
+        # to its target radius along the current direction.
+        directions = (x[None, :] - anchors) / safe[:, None]
+        proposal = anchors + deltas[:, None] * directions
+        new_x = proposal.mean(axis=0)
+        if np.linalg.norm(new_x - x) < tol:
+            x = new_x
+            break
+        x = new_x
+
+    # Gauss-Newton polish: the majorization converges slowly along flat
+    # directions; a few Newton steps tighten the placement.
+    for _ in range(12):
+        distances = point_distances(x, anchors)
+        safe = np.maximum(distances, 1e-12)
+        residuals = distances - deltas
+        jacobian = (x[None, :] - anchors) / safe[:, None]
+        gram = jacobian.T @ jacobian
+        gradient = jacobian.T @ residuals
+        try:
+            step = np.linalg.solve(gram + 1e-12 * np.eye(gram.shape[0]), gradient)
+        except np.linalg.LinAlgError:
+            break
+        candidate = x - step
+        if placement_stress(candidate, anchors, deltas) <= placement_stress(
+            x, anchors, deltas
+        ):
+            x = candidate
+        else:
+            break
+        if np.linalg.norm(step) < tol:
+            break
+    return x
+
+
+def placement_stress(point: np.ndarray, anchors_2d: np.ndarray, deltas: np.ndarray) -> float:
+    """Residual stress of a placed point against its anchors."""
+    distances = point_distances(np.asarray(point, float), np.asarray(anchors_2d, float))
+    return float(np.sum((distances - np.asarray(deltas, float)) ** 2))
+
+
+def procrustes_align(
+    reference: np.ndarray,
+    config: np.ndarray,
+    allow_scaling: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rigidly align ``config`` onto ``reference`` (orthogonal Procrustes).
+
+    Parameters
+    ----------
+    reference / config:
+        ``(n, d)`` corresponding configurations.
+    allow_scaling:
+        Also fit a global scale factor. Off by default — distances in
+        the map are meaningful (violation radii), so we only rotate,
+        reflect and translate.
+
+    Returns
+    -------
+    ``(aligned, rotation, translation)`` such that
+    ``aligned = config @ rotation + translation``.
+    """
+    reference = np.asarray(reference, dtype=float)
+    config = np.asarray(config, dtype=float)
+    if reference.shape != config.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs config {config.shape}"
+        )
+    if reference.size == 0:
+        return config.copy(), np.eye(config.shape[1] if config.ndim == 2 else 2), np.zeros(2)
+
+    mu_ref = reference.mean(axis=0)
+    mu_cfg = config.mean(axis=0)
+    ref_c = reference - mu_ref
+    cfg_c = config - mu_cfg
+
+    # Optimal rotation via SVD of the cross-covariance.
+    u, s, vt = np.linalg.svd(cfg_c.T @ ref_c)
+    rotation = u @ vt
+
+    scale = 1.0
+    if allow_scaling:
+        denom = float(np.sum(cfg_c**2))
+        if denom > 0:
+            scale = float(np.sum(s)) / denom
+
+    rotation = rotation * scale
+    translation = mu_ref - mu_cfg @ rotation
+    aligned = config @ rotation + translation
+    return aligned, rotation, translation

@@ -1,0 +1,112 @@
+"""Landmark MDS: the fast approximation the paper points to (§4).
+
+"there is existing work in the literature that is capable of doing
+incremental MDS with high performance and very low overhead [32, 35]"
+— [35] is de Silva & Tenenbaum-style landmark MDS: run classical MDS on
+a small set of well-spread landmark points, then embed every other
+point by distance-based triangulation against the landmarks. Cost drops
+from O(n^2) to O(n*k) for k landmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mds.classical import classical_mds
+from repro.mds.distances import pairwise_distances, point_distances
+
+
+def select_landmarks(
+    points: np.ndarray, k: int, seed: Optional[int] = 0
+) -> np.ndarray:
+    """MaxMin greedy landmark selection.
+
+    Starts from a (seeded) random point, then repeatedly adds the point
+    farthest from the current landmark set — the standard spread
+    heuristic for landmark MDS.
+
+    Returns the selected row indices.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= n:
+        return np.arange(n)
+    rng = np.random.default_rng(seed)
+    first = int(rng.integers(n))
+    selected = [first]
+    min_distances = point_distances(points[first], points)
+    min_distances[first] = -np.inf  # never re-select
+    for _ in range(k - 1):
+        candidate = int(np.argmax(min_distances))
+        selected.append(candidate)
+        min_distances = np.minimum(
+            min_distances, point_distances(points[candidate], points)
+        )
+        min_distances[np.asarray(selected)] = -np.inf
+    return np.asarray(selected, dtype=int)
+
+
+def landmark_mds(
+    landmark_distances: np.ndarray,
+    deltas_to_landmarks: np.ndarray,
+    n_components: int = 2,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Embed points by triangulation against landmark coordinates.
+
+    Parameters
+    ----------
+    landmark_distances:
+        ``(k, k)`` pairwise distances among the landmarks.
+    deltas_to_landmarks:
+        ``(n, k)`` distances from every point to each landmark.
+    n_components:
+        Output dimensionality.
+
+    Returns
+    -------
+    ``(landmark_coords, point_coords)`` where ``landmark_coords`` is
+    the classical-MDS embedding of the landmarks and ``point_coords``
+    embeds all ``n`` points against it (landmarks passed as points map
+    onto themselves up to numerical error).
+    """
+    landmark_distances = np.asarray(landmark_distances, dtype=float)
+    deltas = np.asarray(deltas_to_landmarks, dtype=float)
+    k = landmark_distances.shape[0]
+    if landmark_distances.shape != (k, k):
+        raise ValueError("landmark_distances must be square")
+    if deltas.ndim != 2 or deltas.shape[1] != k:
+        raise ValueError(
+            f"deltas_to_landmarks must be (n, {k}), got {deltas.shape}"
+        )
+
+    landmark_coords = classical_mds(landmark_distances, n_components)
+
+    # Distance-based triangulation (de Silva & Tenenbaum):
+    # x = -1/2 * L# (delta^2 - mean_col(Delta^2))
+    squared = landmark_distances**2
+    mean_squared = squared.mean(axis=0)
+    pseudo_inverse = np.linalg.pinv(landmark_coords)
+    point_coords = -0.5 * (deltas**2 - mean_squared[None, :]) @ pseudo_inverse.T
+    return landmark_coords, point_coords
+
+
+def landmark_mds_fit(
+    points: np.ndarray,
+    k: int,
+    n_components: int = 2,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Convenience: landmark-MDS embed an ``(n, d)`` point cloud."""
+    points = np.asarray(points, dtype=float)
+    indices = select_landmarks(points, k, seed=seed)
+    landmarks = points[indices]
+    landmark_distances = pairwise_distances(landmarks)
+    deltas = np.stack(
+        [point_distances(point, landmarks) for point in points]
+    )
+    _, coords = landmark_mds(landmark_distances, deltas, n_components)
+    return coords

@@ -1,0 +1,40 @@
+"""Stress diagnostics.
+
+The paper's loss (§2.2) is the raw stress
+``Loss(X) = sum_{i<j} (Dist(x_i, x_j) - delta_ij)^2`` between the
+high-dimensional distances and the plane distances. §5 uses the stress
+value to decide whether a 2-D embedding is an adequate representation
+("this distortion will be reflected in a high stress value").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mds.distances import pairwise_distances
+
+
+def raw_stress(embedding: np.ndarray, target_distances: np.ndarray) -> float:
+    """Raw stress: sum of squared distance errors over unordered pairs."""
+    target = np.asarray(target_distances, dtype=float)
+    actual = pairwise_distances(embedding)
+    if actual.shape != target.shape:
+        raise ValueError(
+            f"embedding implies a {actual.shape} distance matrix, target is {target.shape}"
+        )
+    diff = actual - target
+    # Each unordered pair appears twice in the full matrix.
+    return float(np.sum(diff**2) / 2.0)
+
+
+def normalized_stress(embedding: np.ndarray, target_distances: np.ndarray) -> float:
+    """Kruskal's stress-1: sqrt(raw_stress / sum of squared targets).
+
+    Scale-free: 0 is a perfect embedding; values below ~0.1 are
+    conventionally considered good.
+    """
+    target = np.asarray(target_distances, dtype=float)
+    denom = float(np.sum(target**2) / 2.0)
+    if denom <= 0.0:
+        return 0.0
+    return float(np.sqrt(raw_stress(embedding, target) / denom))

@@ -1,0 +1,139 @@
+"""Simulated hardware performance counters.
+
+§3.1: "Ideally, the right metrics to use are those that characterize
+the load on the resource subsystem we are interested in. For example,
+performance counters for each VM can be used to characterize the load
+on the memory bus."
+
+Real counters (instructions, cycles, LLC misses) are functions of what
+the scheduler actually let a workload execute; on the simulated host we
+derive them from the same ground truth — the granted allocation:
+
+* ``cycles``   — CPU-seconds actually consumed this tick;
+* ``instructions`` — cycles x an IPC that starts at the workload's
+  intrinsic rate and degrades with memory-bus pressure and swapping
+  (memory-bound work retires fewer instructions per cycle);
+* ``llc_miss_proxy`` — memory-bus bytes moved (the §3.1 bus-load
+  signal);
+* ``ipc`` — instructions / cycles, the Bubble-Flux-style health signal.
+
+:class:`CounterModel` is a middleware producing one
+:class:`PerfCounters` sample per container per tick; its IPC stream can
+drive :class:`~repro.monitoring.ipc.IpcViolationDetector` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.host import Host, HostSnapshot
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """One container's counter readings for one tick.
+
+    Attributes
+    ----------
+    tick:
+        Tick of the sample.
+    cycles:
+        CPU-seconds consumed (core-seconds; 2.0 = two busy cores).
+    instructions:
+        Work retired, in intrinsic-IPC units.
+    llc_miss_proxy:
+        Memory-bus traffic actually moved (MB).
+    ipc:
+        instructions / cycles (0 when no cycles ran).
+    """
+
+    tick: int
+    cycles: float
+    instructions: float
+    llc_miss_proxy: float
+    ipc: float
+
+
+class CounterModel:
+    """Derive per-container performance counters from host snapshots.
+
+    Parameters
+    ----------
+    intrinsic_ipc:
+        Instructions per cycle a workload retires when completely
+        unimpeded (per-container override map; default 1.0).
+    bus_pressure_scale:
+        Memory-bus utilization (fraction of host bus capacity used by
+        *all* tenants) at which IPC degradation reaches ``bus_penalty``.
+    bus_penalty:
+        Maximum multiplicative IPC loss from a saturated bus (0.4 means
+        IPC can drop to 60% of intrinsic under full bus pressure).
+    """
+
+    def __init__(
+        self,
+        intrinsic_ipc: Optional[Dict[str, float]] = None,
+        bus_pressure_scale: float = 1.0,
+        bus_penalty: float = 0.4,
+    ) -> None:
+        if not 0.0 <= bus_penalty < 1.0:
+            raise ValueError("bus_penalty must be in [0, 1)")
+        if bus_pressure_scale <= 0:
+            raise ValueError("bus_pressure_scale must be positive")
+        self.intrinsic_ipc = dict(intrinsic_ipc or {})
+        self.bus_pressure_scale = bus_pressure_scale
+        self.bus_penalty = bus_penalty
+        self.samples: Dict[str, List[PerfCounters]] = {}
+
+    def _intrinsic(self, name: str) -> float:
+        return self.intrinsic_ipc.get(name, 1.0)
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Sample counters for every container that ran this tick."""
+        bus_capacity = host.capacity.get(Resource.MEMORY_BW)
+        bus_used = sum(
+            usage.get(Resource.MEMORY_BW) for usage in snapshot.usage.values()
+        )
+        bus_pressure = 0.0
+        if bus_capacity > 0:
+            bus_pressure = min(
+                1.0, (bus_used / bus_capacity) / self.bus_pressure_scale
+            )
+        for name, allocation in snapshot.allocations.items():
+            cycles = allocation.granted.get(Resource.CPU)
+            degradation = 1.0 - self.bus_penalty * bus_pressure
+            effective_ipc = (
+                self._intrinsic(name) * degradation * allocation.swap_penalty
+            )
+            instructions = cycles * effective_ipc
+            self.samples.setdefault(name, []).append(
+                PerfCounters(
+                    tick=snapshot.tick,
+                    cycles=cycles,
+                    instructions=instructions,
+                    llc_miss_proxy=allocation.granted.get(Resource.MEMORY_BW),
+                    ipc=effective_ipc if cycles > 0 else 0.0,
+                )
+            )
+
+    # -- accessors -----------------------------------------------------
+    def series(self, name: str) -> List[PerfCounters]:
+        """All samples for one container (empty if never ran)."""
+        return self.samples.get(name, [])
+
+    def ipc_series(self, name: str) -> List[float]:
+        """The container's IPC readings in tick order."""
+        return [sample.ipc for sample in self.series(name)]
+
+    def mean_ipc(self, name: str) -> float:
+        """Average IPC over ticks the container actually ran."""
+        values = [s.ipc for s in self.series(name) if s.cycles > 0]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def bus_load_series(self, name: str) -> List[float]:
+        """The §3.1 memory-bus-load signal for one container."""
+        return [sample.llc_miss_proxy for sample in self.series(name)]

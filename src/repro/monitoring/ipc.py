@@ -1,0 +1,100 @@
+"""IPC-based violation detection (the paper's alternative channel).
+
+§3.1: "Stay-Away relies on the application to report whenever a QoS
+violation happens ... Alternatively, using IPC to detect QoS violation
+is explored in other works [34]." Bubble-Flux-style detectors read
+instructions-per-cycle from hardware counters: contention depresses a
+workload's IPC below its isolated baseline.
+
+On the simulated host the per-container *progress factor* plays the
+role of normalized IPC (work retired per cycle of wall clock), so the
+detector needs no application cooperation at all: it learns the
+sensitive container's high-water IPC and reports a violation whenever
+the observed IPC falls below a fraction of that baseline. The detector
+is :class:`~repro.monitoring.qos.QosTracker`-compatible, so it can be
+plugged into the Stay-Away controller as a drop-in replacement for
+application-reported QoS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.monitoring.timeseries import Series
+from repro.sim.host import Host, HostSnapshot
+from repro.workloads.base import QosReport
+
+
+class IpcViolationDetector:
+    """Learn a container's baseline IPC; flag dips below a fraction of it.
+
+    Parameters
+    ----------
+    container_name:
+        The monitored (sensitive) container.
+    threshold_fraction:
+        Violation when ``ipc < threshold_fraction * baseline``.
+    baseline_quantile_decay:
+        The baseline is a decaying maximum: it tracks the highest IPC
+        seen, decaying slowly so workload phase changes (which lower
+        the *achievable* IPC legitimately) do not freeze the baseline
+        at an unreachable level.
+    """
+
+    def __init__(
+        self,
+        container_name: str,
+        threshold_fraction: float = 0.9,
+        baseline_quantile_decay: float = 0.999,
+    ) -> None:
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1]")
+        if not 0.0 < baseline_quantile_decay <= 1.0:
+            raise ValueError("baseline_quantile_decay must be in (0, 1]")
+        self.container_name = container_name
+        self.threshold_fraction = threshold_fraction
+        self.baseline_decay = baseline_quantile_decay
+        self.baseline_ipc: Optional[float] = None
+        self.qos_series = Series(name=f"{container_name}:ipc")
+        self.violation_ticks: List[int] = []
+        self._last_report: Optional[QosReport] = None
+
+    def observe_ipc(self, tick: int, ipc: float) -> QosReport:
+        """Feed one IPC reading; returns the derived QoS report."""
+        if self.baseline_ipc is None:
+            self.baseline_ipc = ipc
+        else:
+            self.baseline_ipc = max(ipc, self.baseline_ipc * self.baseline_decay)
+        normalized = ipc / self.baseline_ipc if self.baseline_ipc > 0 else 1.0
+        report = QosReport(value=normalized, threshold=self.threshold_fraction)
+        self._last_report = report
+        self.qos_series.append(tick, normalized)
+        if report.violated:
+            self.violation_ticks.append(tick)
+        return report
+
+    # -- QosTracker-compatible surface -------------------------------------
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Read the monitored container's IPC proxy from the snapshot."""
+        allocation = snapshot.allocations.get(self.container_name)
+        if allocation is None:
+            return  # container idle/paused: no cycles retired, no sample
+        self.observe_ipc(snapshot.tick, allocation.progress)
+
+    @property
+    def last_report(self) -> Optional[QosReport]:
+        return self._last_report
+
+    @property
+    def violation_now(self) -> bool:
+        return self._last_report is not None and self._last_report.violated
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violation_ticks)
+
+    def violation_ratio(self) -> float:
+        total = len(self.qos_series)
+        if total == 0:
+            return 0.0
+        return len(self.violation_ticks) / total

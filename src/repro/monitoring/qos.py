@@ -1,0 +1,70 @@
+"""Application-reported QoS tracking.
+
+"Stay-Away relies on the application to report whenever a QoS violation
+happens in order to label the mapped state corresponding to the QoS
+violation" (§3.1). :class:`QosTracker` is that channel: a middleware
+that polls the sensitive application's :class:`~repro.workloads.base.QosReport`
+each tick and keeps the violation/qos history for both the controller
+and the analysis code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.monitoring.timeseries import Series
+from repro.sim.host import Host, HostSnapshot
+from repro.workloads.base import Application, QosReport
+
+
+class QosTracker:
+    """Tracks one sensitive application's QoS over the run.
+
+    Parameters
+    ----------
+    app:
+        The sensitive application whose reports are polled.
+    """
+
+    def __init__(self, app: Application) -> None:
+        if not app.is_sensitive:
+            raise ValueError(
+                f"QosTracker expects a sensitive application, got {app.name!r} "
+                f"of kind {app.kind.value}"
+            )
+        self.app = app
+        self.qos_series = Series(name=f"{app.name}:qos")
+        self.violation_ticks: List[int] = []
+        self._last_report: Optional[QosReport] = None
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Poll the application's QoS report for this tick."""
+        report = self.app.qos_report()
+        self._last_report = report
+        if report is None:
+            return
+        self.qos_series.append(snapshot.tick, report.value)
+        if report.violated:
+            self.violation_ticks.append(snapshot.tick)
+
+    @property
+    def last_report(self) -> Optional[QosReport]:
+        """Most recent report (None before the app produced one)."""
+        return self._last_report
+
+    @property
+    def violation_now(self) -> bool:
+        """True when the latest report is a violation."""
+        return self._last_report is not None and self._last_report.violated
+
+    @property
+    def violation_count(self) -> int:
+        """Number of violating ticks observed so far."""
+        return len(self.violation_ticks)
+
+    def violation_ratio(self) -> float:
+        """Fraction of reported ticks that violated QoS."""
+        total = len(self.qos_series)
+        if total == 0:
+            return 0.0
+        return len(self.violation_ticks) / total

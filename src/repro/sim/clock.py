@@ -1,0 +1,51 @@
+"""Simulation clock.
+
+The simulator is discrete-time: every tick corresponds to a fixed wall
+clock interval (1 second by default, matching the paper's monitoring
+period granularity). All components that need time read it from a
+shared :class:`SimulationClock` so there is a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationClock:
+    """A monotonically advancing discrete clock.
+
+    Parameters
+    ----------
+    tick_seconds:
+        Wall-clock duration that one tick represents. Used by
+        workloads whose demand is expressed per second.
+    """
+
+    tick_seconds: float = 1.0
+    _tick: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise ValueError(f"tick_seconds must be positive, got {self.tick_seconds}")
+
+    @property
+    def tick(self) -> int:
+        """Number of completed ticks since the start of the simulation."""
+        return self._tick
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._tick * self.tick_seconds
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance the clock by ``ticks`` ticks and return the new tick."""
+        if ticks < 0:
+            raise ValueError(f"cannot advance clock by a negative amount: {ticks}")
+        self._tick += ticks
+        return self._tick
+
+    def reset(self) -> None:
+        """Rewind the clock to tick zero (used when reusing an engine)."""
+        self._tick = 0

@@ -1,0 +1,194 @@
+"""Multi-host cluster with live migration.
+
+Stay-Away is a per-host mechanism; the paper positions it as a
+complement to cluster schedulers (§2.1) and compares against systems
+that *migrate* interfering VMs (DeepDive, §8) — noting that "VM
+migration is slow and involves a high cost". This module provides the
+substrate for those comparisons: a set of hosts stepped in lockstep on
+one shared clock, and a migration primitive with a realistic downtime
+cost (the container is unavailable while its memory image is copied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.clock import SimulationClock
+from repro.sim.container import Container
+from repro.sim.host import Host, HostSnapshot
+from repro.sim.resources import Resource, ResourceVector
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed or in-flight migration."""
+
+    container: str
+    source: str
+    destination: str
+    start_tick: int
+    downtime_ticks: int
+
+    def done_at(self) -> int:
+        """Tick at which the container resumes on the destination."""
+        return self.start_tick + self.downtime_ticks
+
+
+@dataclass
+class _InFlight:
+    record: MigrationRecord
+    container: Container
+
+
+class Cluster:
+    """A fixed set of hosts sharing one simulation clock.
+
+    Parameters
+    ----------
+    host_names:
+        Names of the hosts to create.
+    capacity:
+        Per-host capacity (same for all; pass per-host Hosts directly
+        via ``hosts`` for heterogeneity).
+    hosts:
+        Pre-built hosts keyed by name (mutually exclusive with
+        ``host_names``). Their clocks are replaced by the shared one.
+    migration_mb_per_tick:
+        Memory image copy rate; downtime = resident set / rate,
+        rounded up (the paper's "migration is slow" cost model).
+    """
+
+    def __init__(
+        self,
+        host_names: Optional[List[str]] = None,
+        capacity: Optional[ResourceVector] = None,
+        hosts: Optional[Dict[str, Host]] = None,
+        migration_mb_per_tick: float = 1000.0,
+    ) -> None:
+        if (host_names is None) == (hosts is None):
+            raise ValueError("pass exactly one of host_names or hosts")
+        if migration_mb_per_tick <= 0:
+            raise ValueError("migration_mb_per_tick must be positive")
+        self.clock = SimulationClock()
+        if hosts is not None:
+            self.hosts = dict(hosts)
+            for host in self.hosts.values():
+                host.clock = self.clock
+        else:
+            self.hosts = {
+                name: Host(capacity=capacity, clock=self.clock)
+                for name in host_names
+            }
+        if not self.hosts:
+            raise ValueError("a cluster needs at least one host")
+        self.migration_mb_per_tick = migration_mb_per_tick
+        self.migrations: List[MigrationRecord] = []
+        self.middlewares: List = []
+        self._in_flight: List[_InFlight] = []
+
+    # -- lookup ----------------------------------------------------------
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self.hosts[name]
+
+    def host_of(self, container_name: str) -> Optional[str]:
+        """Name of the host currently holding a container (None if migrating)."""
+        for host_name, host in self.hosts.items():
+            if container_name in host.containers:
+                return host_name
+        return None
+
+    # -- migration ---------------------------------------------------------
+    def migrate(
+        self, container_name: str, destination: str
+    ) -> MigrationRecord:
+        """Start a live migration of a container to another host.
+
+        The container is removed from its source immediately and is
+        unavailable (copying its memory image) for
+        ``ceil(resident_mb / migration_mb_per_tick)`` ticks, after
+        which it appears paused->running on the destination.
+        """
+        source = self.host_of(container_name)
+        if source is None:
+            raise ValueError(f"container {container_name!r} not found in cluster")
+        if destination not in self.hosts:
+            raise ValueError(f"unknown destination host {destination!r}")
+        if destination == source:
+            raise ValueError("destination equals source host")
+
+        source_host = self.hosts[source]
+        container = source_host.containers[container_name]
+        resident_mb = container.usage_snapshot().get(Resource.MEMORY)
+        if resident_mb <= 0:
+            # Fall back to the app's current demand (freshly started
+            # or paused containers report zero usage).
+            resident_mb = container.app.demand(self.clock).get(Resource.MEMORY)
+        downtime = max(1, int(-(-resident_mb // self.migration_mb_per_tick)))
+
+        source_host.containers.pop(container_name)
+        record = MigrationRecord(
+            container=container_name,
+            source=source,
+            destination=destination,
+            start_tick=self.clock.tick,
+            downtime_ticks=downtime,
+        )
+        self.migrations.append(record)
+        self._in_flight.append(_InFlight(record=record, container=container))
+        return record
+
+    def _land_migrations(self) -> None:
+        landed: List[_InFlight] = []
+        for flight in self._in_flight:
+            if self.clock.tick >= flight.record.done_at():
+                destination = self.hosts[flight.record.destination]
+                destination.add_container(flight.container)
+                landed.append(flight)
+        for flight in landed:
+            self._in_flight.remove(flight)
+
+    @property
+    def in_flight_migrations(self) -> List[MigrationRecord]:
+        """Migrations whose downtime has not elapsed yet."""
+        return [flight.record for flight in self._in_flight]
+
+    # -- simulation -----------------------------------------------------------
+    def step(self) -> Dict[str, HostSnapshot]:
+        """Advance every host by one shared tick."""
+        self._land_migrations()
+        snapshots = {
+            name: host.step(advance_clock=False)
+            for name, host in self.hosts.items()
+        }
+        self.clock.advance()
+        for middleware in self.middlewares:
+            middleware.on_cluster_tick(snapshots, self)
+        return snapshots
+
+    def add_middleware(self, middleware) -> None:
+        """Register a cluster-level observer/controller.
+
+        Middlewares implement ``on_cluster_tick(snapshots, cluster)``
+        and run after every cluster tick.
+        """
+        self.middlewares.append(middleware)
+
+    def run(self, ticks: int) -> List[Dict[str, HostSnapshot]]:
+        """Run the whole cluster for a fixed number of ticks."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        return [self.step() for _ in range(ticks)]
+
+    def total_cpu_utilization(self) -> float:
+        """Mean CPU utilization across hosts at the latest tick."""
+        utilizations = []
+        for host in self.hosts.values():
+            if host.history:
+                utilizations.append(
+                    host.history[-1].cpu_utilization(host.capacity)
+                )
+        if not utilizations:
+            return 0.0
+        return sum(utilizations) / len(utilizations)

@@ -1,0 +1,134 @@
+"""Fault injection: scripted disturbances for robustness experiments.
+
+The controller must stay well-behaved when the environment misbehaves —
+containers dying mid-throttle, demand spikes, monitoring dropouts. This
+module turns those disturbances into declarative, reproducible
+middleware instead of ad-hoc test code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.host import Host, HostSnapshot
+from repro.sim.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault that fired during the run."""
+
+    tick: int
+    kind: str
+    target: str
+
+
+class FaultSchedule:
+    """A middleware executing scripted faults at fixed ticks.
+
+    Supported actions: ``kill`` (stop a container), ``pause`` /
+    ``resume`` (external signals racing the controller's own), and
+    ``restart`` (resume a paused container and reset its pause count
+    bookkeeping is left untouched — a crash-looping supervisor).
+    """
+
+    def __init__(self) -> None:
+        self._scripted: List = []
+        self.fired: List[FaultEvent] = []
+
+    def kill(self, tick: int, container: str) -> "FaultSchedule":
+        """Stop a container at a tick (process crash / OOM kill)."""
+        self._scripted.append((tick, "kill", container))
+        return self
+
+    def pause(self, tick: int, container: str) -> "FaultSchedule":
+        """Externally SIGSTOP a container (an operator or another agent)."""
+        self._scripted.append((tick, "pause", container))
+        return self
+
+    def resume(self, tick: int, container: str) -> "FaultSchedule":
+        """Externally SIGCONT a container."""
+        self._scripted.append((tick, "resume", container))
+        return self
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        """Fire any faults scheduled for this tick."""
+        for tick, kind, target in self._scripted:
+            if tick != snapshot.tick or target not in host.containers:
+                continue
+            container = host.container(target)
+            if kind == "kill":
+                container.stop()
+            elif kind == "pause" and container.is_running:
+                container.pause()
+            elif kind == "resume" and container.is_paused:
+                container.resume()
+            else:
+                continue
+            self.fired.append(FaultEvent(tick=tick, kind=kind, target=target))
+
+
+class DemandSpiker:
+    """Inject transient demand spikes into an application.
+
+    Wraps the app's ``demand`` so that during scripted windows the
+    demand is multiplied — a flash crowd, a garbage-collection storm, a
+    runaway query. Spikes are the 'instantaneous transitions' stressor
+    for the predictor (§3.2.3).
+    """
+
+    def __init__(
+        self,
+        app,
+        windows: List,
+        factor: float = 2.0,
+    ) -> None:
+        """``windows`` is a list of ``(start_tick, end_tick)`` pairs."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        for start, end in windows:
+            if end <= start:
+                raise ValueError(f"empty spike window ({start}, {end})")
+        self.app = app
+        self.windows = list(windows)
+        self.factor = factor
+        self._original_demand = app.demand
+        app.demand = self._spiked_demand  # type: ignore[method-assign]
+
+    def active(self, tick: int) -> bool:
+        """Whether a spike window covers the tick."""
+        return any(start <= tick < end for start, end in self.windows)
+
+    def _spiked_demand(self, clock) -> ResourceVector:
+        base = self._original_demand(clock)
+        if self.active(clock.tick):
+            return base.scaled(self.factor)
+        return base
+
+    def remove(self) -> None:
+        """Restore the app's original demand function."""
+        self.app.demand = self._original_demand  # type: ignore[method-assign]
+
+
+class MonitoringDropout:
+    """Drop (skip) a middleware's ticks during scripted windows.
+
+    Models a monitoring agent that loses samples — the controller
+    simply sees nothing for those periods and must resynchronize.
+    """
+
+    def __init__(self, inner, windows: List) -> None:
+        for start, end in windows:
+            if end <= start:
+                raise ValueError(f"empty dropout window ({start}, {end})")
+        self.inner = inner
+        self.windows = list(windows)
+        self.dropped_ticks: List[int] = []
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        for start, end in self.windows:
+            if start <= snapshot.tick < end:
+                self.dropped_ticks.append(snapshot.tick)
+                return
+        self.inner.on_tick(snapshot, host)

@@ -1,0 +1,195 @@
+"""The simulated physical host.
+
+A :class:`Host` owns a set of containers and a contention model. Each
+tick it gathers demands from running containers, resolves contention,
+delivers allocations and produces a :class:`HostSnapshot` — the
+observable state a monitoring agent would collect from cgroups/libvirt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.clock import SimulationClock
+from repro.sim.container import Container, ContainerState
+from repro.sim.contention import (
+    Allocation,
+    ContentionModel,
+    ProportionalShareModel,
+)
+from repro.sim.resources import (
+    Resource,
+    ResourceVector,
+    default_host_capacity,
+    sum_vectors,
+)
+
+
+@dataclass(frozen=True)
+class HostSnapshot:
+    """Observable host state after one tick.
+
+    Attributes
+    ----------
+    tick:
+        Tick this snapshot describes.
+    usage:
+        Per-container resources actually consumed this tick (zero for
+        paused / idle / finished containers).
+    allocations:
+        Full allocation records (including progress factors) per
+        running container.
+    states:
+        Container lifecycle state per container.
+    swap_ratio:
+        Memory overcommit ratio this tick (1.0 = no overcommit).
+    """
+
+    tick: int
+    usage: Dict[str, ResourceVector]
+    allocations: Dict[str, Allocation]
+    states: Dict[str, ContainerState]
+    swap_ratio: float
+
+    def total_usage(self) -> ResourceVector:
+        """Aggregate resource consumption across all containers."""
+        return sum_vectors(self.usage.values())
+
+    def cpu_utilization(self, capacity: ResourceVector) -> float:
+        """Machine CPU utilization in [0, 1] — the paper's utilization metric."""
+        cpu_capacity = capacity.get(Resource.CPU)
+        if cpu_capacity <= 0:
+            return 0.0
+        return min(1.0, self.total_usage().get(Resource.CPU) / cpu_capacity)
+
+
+class Host:
+    """A single physical machine hosting containers.
+
+    Parameters
+    ----------
+    capacity:
+        Total machine resources; defaults to the paper's testbed
+        (4 cores, 8 GB RAM, see :func:`default_host_capacity`).
+    contention:
+        The contention model; defaults to proportional share with a
+        swap penalty.
+    clock:
+        Shared simulation clock; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[ResourceVector] = None,
+        contention: Optional[ContentionModel] = None,
+        clock: Optional[SimulationClock] = None,
+    ) -> None:
+        self.capacity = capacity if capacity is not None else default_host_capacity()
+        self.contention = contention if contention is not None else ProportionalShareModel()
+        self.clock = clock if clock is not None else SimulationClock()
+        self._containers: Dict[str, Container] = {}
+        self._history: List[HostSnapshot] = []
+
+    # -- container management -----------------------------------------
+    def add_container(self, container: Container) -> Container:
+        """Admit a container to the host. Names must be unique."""
+        if container.name in self._containers:
+            raise ValueError(f"duplicate container name: {container.name!r}")
+        self._containers[container.name] = container
+        return container
+
+    def remove_container(self, name: str) -> Container:
+        """Evict a container (it is stopped first)."""
+        container = self._containers.pop(name)
+        container.stop()
+        return container
+
+    def container(self, name: str) -> Container:
+        """Look up a container by name."""
+        return self._containers[name]
+
+    @property
+    def containers(self) -> Dict[str, Container]:
+        """All admitted containers by name (read-only view by convention)."""
+        return self._containers
+
+    def sensitive_containers(self) -> List[Container]:
+        """Containers marked latency-sensitive."""
+        return [c for c in self._containers.values() if c.sensitive]
+
+    def batch_containers(self) -> List[Container]:
+        """Best-effort batch containers (the throttling candidates)."""
+        return [c for c in self._containers.values() if not c.sensitive]
+
+    # -- signals (the Stay-Away action surface) -------------------------
+    def pause_container(self, name: str) -> None:
+        """Send SIGSTOP to a container's process group."""
+        self._containers[name].pause()
+
+    def resume_container(self, name: str) -> None:
+        """Send SIGCONT to a container's process group."""
+        self._containers[name].resume()
+
+    # -- simulation -----------------------------------------------------
+    def step(self, advance_clock: bool = True) -> HostSnapshot:
+        """Advance the host by one tick and return the observable snapshot.
+
+        Parameters
+        ----------
+        advance_clock:
+            Set False when an external coordinator (a
+            :class:`~repro.sim.cluster.Cluster`) owns a clock shared by
+            several hosts and advances it once per cluster tick.
+        """
+        clock = self.clock
+        for container in self._containers.values():
+            container.maybe_autostart(clock)
+
+        demands: Dict[str, ResourceVector] = {}
+        weights: Dict[str, float] = {}
+        for name, container in self._containers.items():
+            demand = container.demand(clock)
+            if container.is_running and not demand.is_zero():
+                demands[name] = demand
+                weights[name] = container.weight
+
+        allocations = self.contention.resolve(demands, self.capacity, weights)
+
+        usage: Dict[str, ResourceVector] = {}
+        states: Dict[str, ContainerState] = {}
+        for name, container in self._containers.items():
+            if name in allocations:
+                container.deliver(allocations[name], clock)
+                usage[name] = allocations[name].granted
+            else:
+                if container.is_paused:
+                    container.observe_paused_tick()
+                usage[name] = ResourceVector.zero()
+            states[name] = container.state
+
+        swap_ratio = getattr(self.contention, "last_swap_ratio", 1.0)
+        snapshot = HostSnapshot(
+            tick=clock.tick,
+            usage=usage,
+            allocations=allocations,
+            states=states,
+            swap_ratio=swap_ratio,
+        )
+        self._history.append(snapshot)
+        if advance_clock:
+            clock.advance()
+        return snapshot
+
+    @property
+    def history(self) -> List[HostSnapshot]:
+        """All snapshots produced so far, in tick order."""
+        return self._history
+
+    def all_finished(self) -> bool:
+        """True when no container can ever demand resources again."""
+        return all(
+            container.state is ContainerState.STOPPED
+            or container.app.finished
+            for container in self._containers.values()
+        )

@@ -1,0 +1,64 @@
+"""Step features: distance and absolute angle between successive positions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _validate_track(points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) track, got shape {points.shape}")
+    return points
+
+
+def step_lengths(points: np.ndarray) -> np.ndarray:
+    """Euclidean distances between successive positions.
+
+    Returns an ``(n-1,)`` array (empty for tracks shorter than 2).
+    """
+    points = _validate_track(points)
+    if points.shape[0] < 2:
+        return np.empty(0)
+    deltas = np.diff(points, axis=0)
+    return np.sqrt(np.sum(deltas**2, axis=1))
+
+
+def step_angles(points: np.ndarray) -> np.ndarray:
+    """Absolute angles (radians in [-pi, pi]) of each step vs the x axis.
+
+    This is the paper's alpha_i: "the absolute angle between the x
+    direction and the step built by transitions from positions i and
+    i+1" (§3.2.3).
+    """
+    points = _validate_track(points)
+    if points.shape[0] < 2:
+        return np.empty(0)
+    deltas = np.diff(points, axis=0)
+    return np.arctan2(deltas[:, 1], deltas[:, 0])
+
+
+def step_features(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``(distances, angles)`` for a track in one pass."""
+    points = _validate_track(points)
+    if points.shape[0] < 2:
+        return np.empty(0), np.empty(0)
+    deltas = np.diff(points, axis=0)
+    distances = np.sqrt(np.sum(deltas**2, axis=1))
+    angles = np.arctan2(deltas[:, 1], deltas[:, 0])
+    return distances, angles
+
+
+def turning_angles(points: np.ndarray) -> np.ndarray:
+    """Relative (turning) angles between consecutive steps, in [-pi, pi].
+
+    Not used by the predictor itself (which works on absolute angles)
+    but useful to characterize correlated random walks in tests.
+    """
+    angles = step_angles(points)
+    if angles.size < 2:
+        return np.empty(0)
+    turns = np.diff(angles)
+    return np.mod(turns + np.pi, 2.0 * np.pi) - np.pi

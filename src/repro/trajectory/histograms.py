@@ -1,0 +1,188 @@
+"""Empirical distributions: histograms with inverse-transform sampling.
+
+"The underlying measurement is a histogram. ... A random set of samples
+are then generated following the histogram using the inverse transform
+method, which computes a mapping from a uniform distribution to an
+arbitrary distribution" (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+
+class Histogram:
+    """A fixed-range histogram with inverse-transform sampling.
+
+    Parameters
+    ----------
+    low / high:
+        Support of the distribution; out-of-range observations are
+        clipped into the edge bins.
+    bins:
+        Number of equal-width bins.
+    """
+
+    def __init__(self, low: float, high: float, bins: int = 16) -> None:
+        if high <= low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.low = float(low)
+        self.high = float(high)
+        self.bins = bins
+        self.counts = np.zeros(bins, dtype=float)
+        self.edges = np.linspace(low, high, bins + 1)
+
+    @property
+    def total(self) -> float:
+        """Total observation weight."""
+        return float(self.counts.sum())
+
+    def bin_of(self, value: float) -> int:
+        """Bin index for a value (edge bins absorb out-of-range values)."""
+        width = (self.high - self.low) / self.bins
+        index = int((value - self.low) / width)
+        return min(max(index, 0), self.bins - 1)
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Record one observation."""
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        self.counts[self.bin_of(value)] += weight
+
+    def probabilities(self) -> np.ndarray:
+        """Per-bin probability mass (uniform when nothing observed yet)."""
+        total = self.total
+        if total <= 0:
+            return np.full(self.bins, 1.0 / self.bins)
+        return self.counts / total
+
+    def cdf(self) -> np.ndarray:
+        """Cumulative distribution over bins (last entry == 1)."""
+        cdf = np.cumsum(self.probabilities())
+        cdf[-1] = 1.0
+        return cdf
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Inverse-transform samples: uniform u -> bin via CDF -> uniform within bin."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        cdf = self.cdf()
+        u = rng.uniform(0.0, 1.0, size=n)
+        indices = np.searchsorted(cdf, u, side="left")
+        indices = np.clip(indices, 0, self.bins - 1)
+        left = self.edges[indices]
+        right = self.edges[indices + 1]
+        return left + rng.uniform(0.0, 1.0, size=n) * (right - left)
+
+    def mode_bin_center(self) -> float:
+        """Center of the most populated bin."""
+        index = int(np.argmax(self.counts))
+        return float(0.5 * (self.edges[index] + self.edges[index + 1]))
+
+    def skewness(self) -> float:
+        """Sample skewness of the binned distribution (bias check).
+
+        The paper reads a skewed pdf as evidence that the trajectory is
+        biased rather than uniformly random (§3.2.3).
+        """
+        probabilities = self.probabilities()
+        centers = 0.5 * (self.edges[:-1] + self.edges[1:])
+        mean = float(np.sum(probabilities * centers))
+        variance = float(np.sum(probabilities * (centers - mean) ** 2))
+        if variance <= 0:
+            return 0.0
+        third = float(np.sum(probabilities * (centers - mean) ** 3))
+        return third / variance**1.5
+
+
+class EmpiricalDistribution:
+    """A windowed sample store that exposes a histogram view.
+
+    Keeps the most recent ``window`` raw observations (applications
+    drift; old phases should age out) and rebuilds the histogram over
+    the observed range on demand.
+
+    Parameters
+    ----------
+    window:
+        Maximum retained observations.
+    bins:
+        Histogram resolution.
+    low / high:
+        Optional fixed support; inferred from the data when omitted.
+    """
+
+    def __init__(
+        self,
+        window: int = 400,
+        bins: int = 16,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.bins = bins
+        self.fixed_low = low
+        self.fixed_high = high
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(float(value))
+
+    @property
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=float)
+
+    def support(self) -> Tuple[float, float]:
+        """The histogram support (fixed bounds or observed range)."""
+        if self.fixed_low is not None and self.fixed_high is not None:
+            return self.fixed_low, self.fixed_high
+        if not self._samples:
+            return (0.0, 1.0)
+        values = self.samples
+        low = self.fixed_low if self.fixed_low is not None else float(values.min())
+        high = self.fixed_high if self.fixed_high is not None else float(values.max())
+        if high <= low:
+            high = low + max(abs(low) * 1e-6, 1e-9)
+        return low, high
+
+    def histogram(self) -> Histogram:
+        """Materialize the current histogram."""
+        low, high = self.support()
+        hist = Histogram(low, high, bins=self.bins)
+        for value in self._samples:
+            hist.add(value)
+        return hist
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Inverse-transform samples from the current histogram.
+
+        With zero observations this returns zeros (the caller is
+        expected to check :meth:`ready` for meaningful predictions).
+        """
+        if not self._samples:
+            return np.zeros(n)
+        return self.histogram().sample(rng, n)
+
+    def ready(self, minimum: int = 3) -> bool:
+        """True once enough observations exist for a first approximation.
+
+        "after a few observations have been made, a first approximation
+        of the pdfs for both parameters can be derived" (§3.2.3).
+        """
+        return len(self._samples) >= minimum
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(self.samples.mean())

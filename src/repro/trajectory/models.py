@@ -1,0 +1,150 @@
+"""Reference stochastic movement models.
+
+The paper observes that "for a particular combination of batch
+application and latency sensitive application, co-located execution
+mode may show characteristics of a Biased Random Walk whereas for a
+different combination, the execution mode may follow the trajectory
+model of levy flight" (§3.2.3). These generators reproduce those model
+families; they are used to validate the trajectory learner (it must
+recover the bias of a biased walk, the heavy tail of a Lévy flight)
+and to generate synthetic state-space tracks in tests and ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class MovementModel(abc.ABC):
+    """A 2-D stochastic movement process."""
+
+    @abc.abstractmethod
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one displacement vector."""
+
+    def generate(
+        self,
+        n: int,
+        rng: Optional[np.random.Generator] = None,
+        origin: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Generate an ``(n, 2)`` track of ``n`` positions.
+
+        The first position is the origin; ``n - 1`` steps follow.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if rng is None:
+            rng = np.random.default_rng(0)
+        position = np.zeros(2) if origin is None else np.asarray(origin, float).copy()
+        track = np.empty((n, 2))
+        track[0] = position
+        for i in range(1, n):
+            position = position + self.step(rng)
+            track[i] = position
+        return track
+
+
+class BiasedRandomWalk(MovementModel):
+    """Steps with a preferred direction (von Mises angles).
+
+    Parameters
+    ----------
+    bias_angle:
+        Preferred absolute direction in radians.
+    concentration:
+        Von Mises kappa; 0 = uniform angles (unbiased), larger =
+        stronger directional bias.
+    step_mean / step_std:
+        Gaussian step-length distribution (truncated at 0).
+    """
+
+    def __init__(
+        self,
+        bias_angle: float = 0.0,
+        concentration: float = 2.0,
+        step_mean: float = 0.05,
+        step_std: float = 0.015,
+    ) -> None:
+        if concentration < 0:
+            raise ValueError("concentration must be non-negative")
+        if step_mean <= 0:
+            raise ValueError("step_mean must be positive")
+        self.bias_angle = bias_angle
+        self.concentration = concentration
+        self.step_mean = step_mean
+        self.step_std = step_std
+
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        if self.concentration == 0:
+            angle = rng.uniform(-np.pi, np.pi)
+        else:
+            angle = rng.vonmises(self.bias_angle, self.concentration)
+        length = max(0.0, rng.normal(self.step_mean, self.step_std))
+        return np.array([length * np.cos(angle), length * np.sin(angle)])
+
+
+class CorrelatedRandomWalk(MovementModel):
+    """Direction persistence: each step turns slightly from the last.
+
+    Produces the "short bursts of correlated movement" the paper sees
+    for VLC streaming in isolation (§3.2.3, Fig. 5).
+    """
+
+    def __init__(
+        self,
+        turn_std: float = 0.4,
+        step_mean: float = 0.03,
+        step_std: float = 0.01,
+        initial_angle: float = 0.0,
+    ) -> None:
+        if step_mean <= 0:
+            raise ValueError("step_mean must be positive")
+        self.turn_std = turn_std
+        self.step_mean = step_mean
+        self.step_std = step_std
+        self._angle = initial_angle
+
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        self._angle = self._angle + rng.normal(0.0, self.turn_std)
+        length = max(0.0, rng.normal(self.step_mean, self.step_std))
+        return np.array([length * np.cos(self._angle), length * np.sin(self._angle)])
+
+
+class LevyFlight(MovementModel):
+    """Heavy-tailed (Pareto) step lengths with uniform directions.
+
+    The model the paper associates with "applications that experience
+    sudden phase changes": mostly small steps with rare long jumps.
+
+    Parameters
+    ----------
+    alpha:
+        Pareto tail exponent (smaller = heavier tail). Must be > 0.
+    scale:
+        Minimum step length.
+    truncate:
+        Upper bound on step length (keeps synthetic maps bounded).
+    """
+
+    def __init__(
+        self, alpha: float = 1.5, scale: float = 0.01, truncate: float = 1.0
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if truncate <= scale:
+            raise ValueError("truncate must exceed scale")
+        self.alpha = alpha
+        self.scale = scale
+        self.truncate = truncate
+
+    def step(self, rng: np.random.Generator) -> np.ndarray:
+        length = self.scale * (1.0 + rng.pareto(self.alpha))
+        length = min(length, self.truncate)
+        angle = rng.uniform(-np.pi, np.pi)
+        return np.array([length * np.cos(angle), length * np.sin(angle)])

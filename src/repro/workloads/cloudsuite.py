@@ -1,0 +1,74 @@
+"""CloudSuite Twitter influence ranking stand-in (batch).
+
+The paper uses "Twitter influence ranking from the Cloud Suite
+benchmark" as the phase-rich batch application: it "experiences a mix
+of both CPU and memory intensive phases, and is throttled only during
+its memory intensive phase" when co-located with a memory-sensitive
+service (§7.2). We model it as a cyclic two-phase job:
+
+* a **CPU phase** (graph scoring): compute-bound, modest footprint;
+* a **memory phase** (adjacency scan): large resident set and heavy
+  memory-bus traffic — the phase that can force the host to swap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.resources import ResourceVector
+from repro.workloads.base import PhasedApplication
+from repro.workloads.phases import Phase, PhaseSchedule
+
+
+class TwitterAnalysis(PhasedApplication):
+    """CloudSuite Twitter-Analysis model.
+
+    Parameters
+    ----------
+    cpu_phase_ticks / memory_phase_ticks:
+        Work-tick lengths of the two alternating phases.
+    total_work:
+        Work ticks to completion; ``None`` cycles until stopped.
+    """
+
+    def __init__(
+        self,
+        name: str = "twitter-analysis",
+        cpu_phase_ticks: float = 40.0,
+        memory_phase_ticks: float = 25.0,
+        total_work: Optional[float] = 2000.0,
+        cpu_phase_cpu: float = 2.2,
+        memory_phase_memory: float = 4200.0,
+        seed: int = 29,
+        noise_std: float = 0.03,
+    ) -> None:
+        cpu_phase = Phase(
+            name="cpu",
+            duration=cpu_phase_ticks,
+            demand=ResourceVector(
+                cpu=cpu_phase_cpu,
+                memory=900.0,
+                memory_bw=400.0,
+                disk_io=3.0,
+                network=5.0,
+            ),
+        )
+        memory_phase = Phase(
+            name="memory",
+            duration=memory_phase_ticks,
+            demand=ResourceVector(
+                cpu=0.5,
+                memory=memory_phase_memory,
+                memory_bw=2800.0,
+                disk_io=12.0,
+                network=5.0,
+            ),
+        )
+        schedule = PhaseSchedule([cpu_phase, memory_phase], cyclic=True)
+        super().__init__(
+            name=name,
+            schedule=schedule,
+            total_work=total_work,
+            seed=seed,
+            noise_std=noise_std,
+        )

@@ -1,0 +1,127 @@
+"""Composite workloads: sequences and intensity modulation.
+
+Real batch pipelines chain heterogeneous stages (the paper's batch
+applications are single programs, but a production queue runs one job
+after another), and batch demand is sometimes itself load-driven. Two
+combinators cover both:
+
+* :class:`SequenceApplication` — run a list of applications back to
+  back as one container workload (a job queue);
+* :class:`ModulatedApplication` — scale another application's demand by
+  a workload trace (a load-driven batch service).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.clock import SimulationClock
+from repro.sim.contention import Allocation
+from repro.sim.resources import ResourceVector
+from repro.workloads.base import Application, ApplicationKind
+from repro.workloads.traces import WorkloadTrace
+
+
+class SequenceApplication(Application):
+    """Run applications one after another inside one container.
+
+    The sequence finishes when its last stage finishes. Stages must be
+    batch applications with finite work (endless stages would starve
+    their successors).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Application],
+        name: str = "job-queue",
+        seed: int = 0,
+    ) -> None:
+        if not stages:
+            raise ValueError("a sequence needs at least one stage")
+        for stage in stages:
+            if stage.is_sensitive:
+                raise ValueError(
+                    f"sequence stages must be batch apps, got sensitive "
+                    f"{stage.name!r}"
+                )
+        super().__init__(
+            name=name, kind=ApplicationKind.BATCH, seed=seed, noise_std=0.0
+        )
+        self.stages: List[Application] = list(stages)
+        self._current = 0
+
+    @property
+    def current_stage(self) -> Optional[Application]:
+        """The stage currently executing (None when all finished)."""
+        while self._current < len(self.stages) and self.stages[self._current].finished:
+            self._current += 1
+        if self._current >= len(self.stages):
+            return None
+        return self.stages[self._current]
+
+    @property
+    def stage_index(self) -> int:
+        """Index of the active stage (== len(stages) when done)."""
+        self.current_stage  # advance past finished stages
+        return self._current
+
+    def demand(self, clock: SimulationClock) -> ResourceVector:
+        stage = self.current_stage
+        if stage is None:
+            return ResourceVector.zero()
+        return stage.demand(clock)
+
+    def _on_advance(self, allocation: Allocation, clock: SimulationClock) -> None:
+        stage = self.current_stage
+        if stage is None:
+            self._finish()
+            return
+        stage.advance(allocation, clock)
+        if self.current_stage is None:
+            self._finish()
+
+
+class ModulatedApplication(Application):
+    """Scale a wrapped application's demand by a workload trace.
+
+    Progress semantics stay those of the wrapped app; only the demand
+    amplitude is modulated, so a trough both lowers the load *and*
+    slows the wrapped job's phase progression proportionally (the
+    allocation's progress already reflects whatever the host granted).
+    """
+
+    def __init__(
+        self,
+        inner: Application,
+        trace: WorkloadTrace,
+        name: Optional[str] = None,
+        floor: float = 0.0,
+    ) -> None:
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        super().__init__(
+            name=name if name is not None else f"modulated-{inner.name}",
+            kind=inner.kind,
+            seed=0,
+            noise_std=0.0,
+        )
+        self.inner = inner
+        self.trace = trace
+        self.floor = floor
+
+    def current_factor(self, clock: SimulationClock) -> float:
+        """The demand multiplier at the current time."""
+        return max(self.floor, self.trace.intensity(clock.now))
+
+    def demand(self, clock: SimulationClock) -> ResourceVector:
+        if self.inner.finished:
+            return ResourceVector.zero()
+        return self.inner.demand(clock).scaled(self.current_factor(clock))
+
+    def _on_advance(self, allocation: Allocation, clock: SimulationClock) -> None:
+        self.inner.advance(allocation, clock)
+        if self.inner.finished:
+            self._finish()
+
+    def qos_report(self):
+        return self.inner.qos_report()

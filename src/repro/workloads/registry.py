@@ -1,0 +1,85 @@
+"""Name → workload factory registry.
+
+Benchmarks and examples refer to workloads by the names the paper uses
+("soplex", "twitter-analysis", "cpubomb", ...). The registry builds a
+fresh, independently seeded instance per call so repeated experiments
+do not share state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.base import Application
+from repro.workloads.bombs import CpuBomb, MemoryBomb
+from repro.workloads.cloudsuite import TwitterAnalysis
+from repro.workloads.spec import Soplex
+from repro.workloads.traces import WorkloadTrace
+from repro.workloads.vlc import VlcStreamingServer, VlcTranscoder
+from repro.workloads.webservice import Webservice, WebserviceWorkload
+
+_FACTORIES: Dict[str, Callable[..., Application]] = {
+    "vlc-streaming": lambda **kw: VlcStreamingServer(**kw),
+    "vlc-transcoding": lambda **kw: VlcTranscoder(**kw),
+    "webservice-cpu": lambda **kw: Webservice(workload=WebserviceWorkload.CPU, **kw),
+    "webservice-memory": lambda **kw: Webservice(
+        workload=WebserviceWorkload.MEMORY, **kw
+    ),
+    "webservice-mix": lambda **kw: Webservice(workload=WebserviceWorkload.MIX, **kw),
+    "soplex": lambda **kw: Soplex(**kw),
+    "twitter-analysis": lambda **kw: TwitterAnalysis(**kw),
+    "cpubomb": lambda **kw: CpuBomb(**kw),
+    "memorybomb": lambda **kw: MemoryBomb(**kw),
+}
+
+#: Names of all batch workloads in the registry.
+BATCH_WORKLOADS: List[str] = [
+    "vlc-transcoding",
+    "soplex",
+    "twitter-analysis",
+    "cpubomb",
+    "memorybomb",
+]
+
+#: Names of all sensitive workloads in the registry.
+SENSITIVE_WORKLOADS: List[str] = [
+    "vlc-streaming",
+    "webservice-cpu",
+    "webservice-memory",
+    "webservice-mix",
+]
+
+
+def available_workloads() -> List[str]:
+    """All registered workload names."""
+    return sorted(_FACTORIES)
+
+
+def make_workload(
+    name: str, seed: Optional[int] = None, trace: Optional[WorkloadTrace] = None, **kwargs
+) -> Application:
+    """Build a fresh workload instance by registry name.
+
+    Parameters
+    ----------
+    name:
+        Registry name (see :func:`available_workloads`).
+    seed:
+        Optional RNG seed override.
+    trace:
+        Optional workload-intensity trace (only meaningful for the
+        trace-driven sensitive applications).
+    kwargs:
+        Forwarded to the workload constructor.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from None
+    if seed is not None:
+        kwargs["seed"] = seed
+    if trace is not None:
+        kwargs["trace"] = trace
+    return factory(**kwargs)

@@ -1,0 +1,84 @@
+"""SPEC CPU2006 soplex stand-in (batch).
+
+Soplex is a simplex-based linear-programming solver. As a co-tenant it
+presents the pattern the paper reports in Fig. 5: a steady, CPU-bound
+demand with a *gradually drifting* memory footprint as the solver's
+basis factorizations grow — producing the "linear trajectory with a
+consistent orientation and slightly varying step length" in the mapped
+state space.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimulationClock
+from repro.sim.resources import ResourceVector
+from repro.workloads.base import PhasedApplication
+from repro.workloads.phases import Phase, PhaseSchedule
+
+
+class Soplex(PhasedApplication):
+    """SPEC CPU2006 450.soplex model.
+
+    Parameters
+    ----------
+    total_work:
+        Work ticks to completion.
+    cpu:
+        Steady CPU demand in cores.
+    memory_start / memory_end:
+        Resident set drifts linearly between these bounds over the run
+        (the gradual-transition driver).
+    """
+
+    def __init__(
+        self,
+        name: str = "soplex",
+        total_work: float = 900.0,
+        cpu: float = 1.0,
+        memory_start: float = 400.0,
+        memory_end: float = 1400.0,
+        memory_bw_start: float = 700.0,
+        memory_bw_end: float = 1600.0,
+        seed: int = 23,
+        noise_std: float = 0.02,
+    ) -> None:
+        base = ResourceVector(
+            cpu=cpu,
+            memory=memory_start,
+            memory_bw=memory_bw_start,
+            disk_io=2.0,
+            network=0.0,
+        )
+        schedule = PhaseSchedule(
+            [Phase(name="simplex", duration=total_work, demand=base)], cyclic=False
+        )
+        super().__init__(
+            name=name,
+            schedule=schedule,
+            total_work=total_work,
+            seed=seed,
+            noise_std=noise_std,
+        )
+        self.cpu = cpu
+        self.memory_start = memory_start
+        self.memory_end = memory_end
+        self.memory_bw_start = memory_bw_start
+        self.memory_bw_end = memory_bw_end
+
+    def base_demand(self, clock: SimulationClock) -> ResourceVector:
+        if self.total_work is None or self.total_work <= 0:
+            fraction = 0.0
+        else:
+            fraction = min(1.0, self.work_done / self.total_work)
+        memory = self.memory_start + (self.memory_end - self.memory_start) * fraction
+        memory_bw = (
+            self.memory_bw_start
+            + (self.memory_bw_end - self.memory_bw_start) * fraction
+        )
+        return ResourceVector(
+            cpu=self.cpu,
+            memory=memory,
+            memory_bw=memory_bw,
+            disk_io=2.0,
+            network=0.0,
+        )

@@ -1,0 +1,97 @@
+"""Integration tests for execution-mode lifecycles (§3.2.3, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.trajectory.modes import ExecutionMode
+from repro.workloads.spec import Soplex
+from repro.workloads.vlc import VlcStreamingServer
+
+
+@pytest.fixture(scope="module")
+def lifecycle_run():
+    """The paper's Fig. 5 lifecycle: idle -> VLC alone -> co-located ->
+    Soplex alone -> idle."""
+    host = Host()
+    vlc = VlcStreamingServer(duration=120, seed=1)
+    soplex = Soplex(total_work=200.0, seed=2)
+    host.add_container(
+        Container(name="vlc", app=vlc, sensitive=True, start_tick=10)
+    )
+    host.add_container(Container(name="soplex", app=soplex, start_tick=50))
+    controller = StayAway(vlc, config=StayAwayConfig(enabled=False, seed=3))
+    SimulationEngine(host, [controller]).run(ticks=300)
+    return controller
+
+
+class TestLifecycleModes:
+    def test_all_four_modes_visited(self, lifecycle_run):
+        modes = {point.mode for point in lifecycle_run.trajectory}
+        assert modes == set(ExecutionMode)
+
+    def test_mode_order(self, lifecycle_run):
+        modes = [point.mode for point in lifecycle_run.trajectory]
+        first_idle = modes.index(ExecutionMode.IDLE)
+        first_sensitive = modes.index(ExecutionMode.SENSITIVE_ONLY)
+        first_colocated = modes.index(ExecutionMode.COLOCATED)
+        first_batch_only = modes.index(ExecutionMode.BATCH_ONLY)
+        assert first_idle < first_sensitive < first_colocated < first_batch_only
+        # The run ends idle again after Soplex finishes.
+        assert modes[-1] is ExecutionMode.IDLE
+
+    def test_each_active_mode_learned_steps(self, lifecycle_run):
+        bank = lifecycle_run.predictor.modes
+        for mode in (
+            ExecutionMode.SENSITIVE_ONLY,
+            ExecutionMode.COLOCATED,
+            ExecutionMode.BATCH_ONLY,
+        ):
+            assert bank.model(mode).steps_observed >= 3, mode
+
+    def test_modes_form_distinct_clusters(self, lifecycle_run):
+        """Fig. 5: 'each execution mode forms clusters'. Cluster
+        centroids of distinct active modes must be separated by more
+        than the average within-cluster spread."""
+        by_mode = {}
+        for point in lifecycle_run.trajectory:
+            by_mode.setdefault(point.mode, []).append(point.coords)
+        centroids = {}
+        spreads = {}
+        for mode in (
+            ExecutionMode.SENSITIVE_ONLY,
+            ExecutionMode.COLOCATED,
+            ExecutionMode.BATCH_ONLY,
+            ExecutionMode.IDLE,
+        ):
+            coords = np.vstack(by_mode[mode])
+            centroids[mode] = coords.mean(axis=0)
+            spreads[mode] = np.linalg.norm(
+                coords - coords.mean(axis=0), axis=1
+            ).mean()
+        # Idle vs colocated must be far apart in particular.
+        separation = np.linalg.norm(
+            centroids[ExecutionMode.IDLE] - centroids[ExecutionMode.COLOCATED]
+        )
+        assert separation > 2 * spreads[ExecutionMode.COLOCATED]
+
+    def test_per_mode_step_distributions_differ(self, lifecycle_run):
+        """'the trajectory pattern has a high dependence on the current
+        execution mode' — mean step lengths differ across modes."""
+        bank = lifecycle_run.predictor.modes
+        colocated = bank.model(ExecutionMode.COLOCATED).mean_step_length()
+        idle = bank.model(ExecutionMode.IDLE).mean_step_length()
+        assert colocated > idle
+
+    def test_step_pdfs_are_biased_not_uniform(self, lifecycle_run):
+        """§3.2.3: 'we always observe a bias in the trajectory' — the
+        angle histogram of an active mode is far from uniform."""
+        model = lifecycle_run.predictor.modes.model(ExecutionMode.COLOCATED)
+        hist = model.angles.histogram()
+        probabilities = hist.probabilities()
+        uniform = 1.0 / hist.bins
+        assert probabilities.max() > 2 * uniform

@@ -1,0 +1,71 @@
+"""Integration tests for multi-batch co-locations (Table 1, §5)."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.experiments.runner import run_stayaway, run_unmanaged
+from repro.experiments.scenarios import Scenario
+
+
+@pytest.fixture(scope="module")
+def batch1_run():
+    """Table 1 Batch-1: Twitter-Analysis + Soplex vs the Webservice."""
+    scenario = Scenario(
+        sensitive="webservice-mix",
+        batches=("twitter-analysis", "soplex"),
+        ticks=500,
+        seed=31,
+    )
+    return run_stayaway(scenario), run_unmanaged(scenario)
+
+
+@pytest.fixture(scope="module")
+def batch2_run():
+    """Table 1 Batch-2: Twitter-Analysis + MemoryBomb vs the Webservice."""
+    scenario = Scenario(
+        sensitive="webservice-mix",
+        batches=("twitter-analysis", "memorybomb"),
+        ticks=500,
+        seed=32,
+    )
+    return run_stayaway(scenario), run_unmanaged(scenario)
+
+
+class TestLogicalVmAggregation:
+    def test_metric_space_stays_two_blocks(self, batch1_run):
+        stayaway, _ = batch1_run
+        collector = stayaway.controller.collector
+        assert len(collector.vm_names) == 2  # sensitive + logical batch
+        assert collector.dimension == 10
+
+    def test_collective_throttling(self, batch1_run):
+        """§5: batch applications are collectively throttled."""
+        stayaway, _ = batch1_run
+        throttles = stayaway.controller.events.of_kind(EventKind.THROTTLE)
+        assert throttles
+        # The first (non-extension) throttle pauses every running batch
+        # container at once.
+        primary = [e for e in throttles if not e.detail.get("extension")]
+        assert primary
+        assert len(primary[0].detail["targets"]) >= 1
+
+    def test_qos_protected_batch1(self, batch1_run):
+        stayaway, unmanaged = batch1_run
+        assert stayaway.violation_ratio() < 0.1
+        assert stayaway.violation_ratio() < unmanaged.violation_ratio()
+
+    def test_qos_protected_batch2(self, batch2_run):
+        stayaway, unmanaged = batch2_run
+        assert stayaway.violation_ratio() < 0.1
+        assert unmanaged.violation_ratio() > 0.3  # MemoryBomb is brutal
+
+    def test_combined_contention_detected(self, batch2_run):
+        """A violation can require the *combination* of batch apps; the
+        aggregated logical VM still catches it (§5's rationale)."""
+        stayaway, _ = batch2_run
+        assert stayaway.controller.state_space.violation_indices.size >= 1
+
+    def test_both_batch_apps_make_progress(self, batch1_run):
+        stayaway, _ = batch1_run
+        for app in stayaway.built.batch_apps:
+            assert app.work_done > 0, app.name

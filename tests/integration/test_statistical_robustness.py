@@ -1,0 +1,72 @@
+"""Statistical robustness: the headline results hold across seeds.
+
+Single-seed results can flatter a controller; these tests rerun the
+headline comparison over several seeds and check the population-level
+claims with the library's own statistics helpers (bootstrap CIs,
+Mann-Whitney U).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_mean_ci, mann_whitney_u, summarize
+from repro.experiments.runner import run_stayaway, run_unmanaged
+from repro.experiments.scenarios import Scenario
+
+SEEDS = [0, 1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def seed_sweep():
+    """VLC + Twitter across seeds, unmanaged vs Stay-Away."""
+    unmanaged, stayaway = [], []
+    for seed in SEEDS:
+        scenario = Scenario(
+            sensitive="vlc-streaming", batches=("twitter-analysis",),
+            ticks=400, seed=seed,
+        )
+        unmanaged.append(run_unmanaged(scenario))
+        stayaway.append(run_stayaway(scenario))
+    return unmanaged, stayaway
+
+
+class TestAcrossSeeds:
+    def test_protection_holds_for_every_seed(self, seed_sweep):
+        _, stayaway = seed_sweep
+        for run in stayaway:
+            assert run.violation_ratio() < 0.12, run.scenario.seed
+
+    def test_interference_exists_for_every_seed(self, seed_sweep):
+        unmanaged, _ = seed_sweep
+        for run in unmanaged:
+            assert run.violation_ratio() > 0.1, run.scenario.seed
+
+    def test_populations_differ_significantly(self, seed_sweep):
+        unmanaged, stayaway = seed_sweep
+        u_ratios = [run.violation_ratio() for run in unmanaged]
+        s_ratios = [run.violation_ratio() for run in stayaway]
+        _, p = mann_whitney_u(u_ratios, s_ratios)
+        assert p < 0.05
+
+    def test_bootstrap_ci_of_improvement_excludes_zero(self, seed_sweep):
+        unmanaged, stayaway = seed_sweep
+        improvements = [
+            u.violation_ratio() - s.violation_ratio()
+            for u, s in zip(unmanaged, stayaway)
+        ]
+        low, high = bootstrap_mean_ci(improvements, seed=1)
+        assert low > 0.0, (low, high)
+
+    def test_accuracy_claim_across_seeds(self, seed_sweep):
+        _, stayaway = seed_sweep
+        accuracies = [
+            run.controller.predictor.outcome_accuracy() for run in stayaway
+        ]
+        stats = summarize(accuracies)
+        assert stats.mean > 0.9
+        assert stats.ci_low > 0.85
+
+    def test_batch_progress_across_seeds(self, seed_sweep):
+        _, stayaway = seed_sweep
+        work = [run.batch_work_done() for run in stayaway]
+        assert min(work) > 20.0  # the batch app never fully starves

@@ -1,0 +1,90 @@
+"""Property-based tests for histograms and inverse-transform sampling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trajectory.histograms import EmpiricalDistribution, Histogram
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestHistogramProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    def test_probabilities_form_a_distribution(self, values):
+        hist = Histogram(-1e6, 1e6, bins=16)
+        for value in values:
+            hist.add(value)
+        probabilities = hist.probabilities()
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == np.float64(1.0) or np.isclose(
+            probabilities.sum(), 1.0
+        )
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_cdf_monotone_and_complete(self, values):
+        hist = Histogram(-1e6, 1e6, bins=8)
+        for value in values:
+            hist.add(value)
+        cdf = hist.cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == 1.0
+
+    @given(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=50),
+        st.integers(1, 100),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_samples_stay_in_support(self, values, n, seed):
+        hist = Histogram(0.0, 1.0, bins=8)
+        for value in values:
+            hist.add(value)
+        samples = hist.sample(np.random.default_rng(seed), n)
+        assert samples.shape == (n,)
+        assert np.all(samples >= 0.0) and np.all(samples <= 1.0)
+
+    @given(st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=5, max_size=50))
+    @settings(max_examples=40)
+    def test_sampling_never_draws_from_empty_bins(self, values):
+        hist = Histogram(0.0, 1.0, bins=4)
+        for value in values:
+            hist.add(value)
+        occupied = hist.counts > 0
+        samples = hist.sample(np.random.default_rng(0), 200)
+        for sample in samples:
+            assert occupied[hist.bin_of(sample)]
+
+
+class TestEmpiricalDistributionProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=300), st.integers(1, 50))
+    def test_window_bound_respected(self, values, window):
+        dist = EmpiricalDistribution(window=window)
+        for value in values:
+            dist.add(value)
+        assert len(dist) == min(len(values), window)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_support_covers_all_retained_samples(self, values):
+        dist = EmpiricalDistribution(window=1000)
+        for value in values:
+            dist.add(value)
+        low, high = dist.support()
+        assert low <= min(values)
+        assert high >= max(values) or np.isclose(high, max(values))
+
+    @given(
+        st.lists(st.floats(-100.0, 100.0, allow_nan=False), min_size=2, max_size=100),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60)
+    def test_samples_within_observed_range(self, values, seed):
+        dist = EmpiricalDistribution(window=1000, bins=8)
+        for value in values:
+            dist.add(value)
+        samples = dist.sample(np.random.default_rng(seed), 50)
+        low, high = dist.support()
+        assert np.all(samples >= low - 1e-9)
+        assert np.all(samples <= high + 1e-9)

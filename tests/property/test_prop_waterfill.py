@@ -1,0 +1,78 @@
+"""Property-based tests for weighted water-filling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.contention import weighted_water_fill
+
+
+@st.composite
+def fill_problems(draw):
+    n = draw(st.integers(1, 6))
+    demands = {
+        f"t{i}": draw(st.floats(0.0, 100.0, allow_nan=False)) for i in range(n)
+    }
+    weights = {
+        f"t{i}": draw(st.floats(0.1, 50.0, allow_nan=False)) for i in range(n)
+    }
+    capacity = draw(st.floats(0.0, 200.0, allow_nan=False))
+    return demands, weights, capacity
+
+
+class TestWaterFillProperties:
+    @given(fill_problems())
+    @settings(max_examples=200)
+    def test_feasibility(self, problem):
+        demands, weights, capacity = problem
+        granted = weighted_water_fill(demands, weights, capacity)
+        assert set(granted) == set(demands)
+        total = sum(granted.values())
+        assert total <= capacity + 1e-6
+        for name in demands:
+            assert -1e-9 <= granted[name] <= demands[name] + 1e-6
+
+    @given(fill_problems())
+    @settings(max_examples=200)
+    def test_work_conserving(self, problem):
+        demands, weights, capacity = problem
+        granted = weighted_water_fill(demands, weights, capacity)
+        total_demand = sum(demands.values())
+        total_granted = sum(granted.values())
+        # Either all demand is satisfied or (almost) all capacity used.
+        assert (
+            total_granted >= min(total_demand, capacity) - 1e-6
+        )
+
+    @given(fill_problems())
+    @settings(max_examples=100)
+    def test_uncontended_exactness(self, problem):
+        demands, weights, capacity = problem
+        total = sum(demands.values())
+        if total <= capacity:
+            granted = weighted_water_fill(demands, weights, capacity)
+            for name, demand in demands.items():
+                assert abs(granted[name] - demand) < 1e-6
+
+    @given(fill_problems(), st.floats(1.5, 10.0))
+    @settings(max_examples=100)
+    def test_raising_weight_never_hurts(self, problem, boost):
+        demands, weights, capacity = problem
+        if not demands:
+            return
+        target = sorted(demands)[0]
+        before = weighted_water_fill(demands, weights, capacity)
+        boosted_weights = dict(weights)
+        boosted_weights[target] = weights[target] * boost
+        after = weighted_water_fill(demands, boosted_weights, capacity)
+        assert after[target] >= before[target] - 1e-6
+
+    @given(fill_problems())
+    @settings(max_examples=100)
+    def test_scale_invariance_of_weights(self, problem):
+        demands, weights, capacity = problem
+        granted_a = weighted_water_fill(demands, weights, capacity)
+        scaled = {name: weight * 7.0 for name, weight in weights.items()}
+        granted_b = weighted_water_fill(demands, scaled, capacity)
+        for name in demands:
+            assert abs(granted_a[name] - granted_b[name]) < 1e-6

@@ -1,0 +1,98 @@
+"""Property-based tests for workload models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import SimulationClock
+from repro.sim.contention import Allocation
+from repro.sim.resources import ResourceVector
+from repro.workloads.registry import available_workloads, make_workload
+
+
+def drive(app, progresses):
+    """Advance an app through a progress sequence; returns demands seen."""
+    clock = SimulationClock()
+    demands = []
+    for progress in progresses:
+        demand = app.demand(clock)
+        demands.append(demand)
+        app.advance(
+            Allocation(granted=demand.scaled(progress), progress=progress),
+            clock,
+        )
+        clock.advance()
+    return demands
+
+
+class TestWorkloadInvariants:
+    @given(
+        st.sampled_from(available_workloads()),
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_demands_always_non_negative_and_finite(self, name, progresses, seed):
+        app = make_workload(name, seed=seed)
+        for demand in drive(app, progresses):
+            for resource, value in demand.items():
+                assert value >= 0.0, (name, resource)
+                assert np.isfinite(value), (name, resource)
+
+    @given(
+        st.sampled_from(available_workloads()),
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_work_done_is_cumulative_progress(self, name, progresses):
+        app = make_workload(name, seed=3)
+        drive(app, progresses)
+        expected = sum(progresses)
+        if app.finished:
+            # Finished apps may have stopped early; work_done is capped
+            # around total_work but never exceeds offered progress.
+            assert app.work_done <= expected + 1e-9
+        else:
+            assert app.work_done == np.float64(expected) or np.isclose(
+                app.work_done, expected
+            )
+
+    @given(
+        st.sampled_from(available_workloads()),
+        st.integers(1, 40),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_finished_apps_demand_nothing(self, name, ticks, seed):
+        app = make_workload(name, seed=seed)
+        drive(app, [1.0] * ticks)
+        if app.finished:
+            assert app.demand(SimulationClock()).is_zero()
+
+    @given(st.sampled_from(available_workloads()), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_same_seed_same_first_demand(self, name, seed):
+        clock = SimulationClock()
+        a = make_workload(name, seed=seed).demand(clock)
+        b = make_workload(name, seed=seed).demand(clock)
+        assert a == b
+
+    @given(st.sampled_from(available_workloads()))
+    @settings(max_examples=20, deadline=None)
+    def test_zero_progress_freezes_phase(self, name):
+        """A fully starved app's demand profile must not advance
+        (work-based phase semantics)."""
+        app = make_workload(name, seed=5)
+        app.noise_std = 0.0
+        clock = SimulationClock()
+        first = app.demand(clock)
+        sensitive = app.is_sensitive
+        drive(app, [0.0] * 30)
+        later = app.demand(SimulationClock())
+        if not sensitive:
+            # Batch apps are work-based: zero progress = frozen phases.
+            for resource, value in later.items():
+                assert np.isclose(value, first.get(resource), rtol=1e-6), (
+                    name,
+                    resource,
+                )

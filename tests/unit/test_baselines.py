@@ -1,0 +1,141 @@
+"""Unit tests for the baseline controllers."""
+
+import pytest
+
+from repro.baselines.no_prevention import NoPrevention
+from repro.baselines.reactive import ReactiveThrottler
+from repro.baselines.static_profiling import (
+    StaticColocationPolicy,
+    profile_application,
+    static_admission_decision,
+)
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector, default_host_capacity
+from repro.workloads.vlc import VlcStreamingServer
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def contended_host():
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0))
+    bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0))
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb))
+    return host, sensitive
+
+
+class TestNoPrevention:
+    def test_never_touches_containers(self):
+        host, _ = contended_host()
+        baseline = NoPrevention()
+        SimulationEngine(host, [baseline]).run(ticks=10)
+        assert baseline.ticks_observed == 10
+        assert host.container("bomb").pause_count == 0
+
+
+class TestReactiveThrottler:
+    def test_rejects_batch_app(self):
+        with pytest.raises(ValueError):
+            ReactiveThrottler(ConstantApp())
+
+    def test_cooldown_validated(self):
+        with pytest.raises(ValueError):
+            ReactiveThrottler(SensitiveStub(), cooldown=0)
+
+    def test_throttles_after_observed_violation(self):
+        host, sensitive = contended_host()
+        reactive = ReactiveThrottler(sensitive, cooldown=5)
+        SimulationEngine(host, [reactive]).run(ticks=3)
+        assert reactive.throttle_count == 1
+        assert host.container("bomb").is_paused
+
+    def test_resumes_after_cooldown(self):
+        host, sensitive = contended_host()
+        reactive = ReactiveThrottler(sensitive, cooldown=3)
+        SimulationEngine(host, [reactive]).run(ticks=10)
+        assert reactive.resume_count >= 1
+
+    def test_oscillates_forever_under_constant_contention(self):
+        # The reactive baseline has no memory: it must pay a violation
+        # on every resume, unlike Stay-Away.
+        host, sensitive = contended_host()
+        reactive = ReactiveThrottler(sensitive, cooldown=3)
+        SimulationEngine(host, [reactive]).run(ticks=60)
+        assert reactive.throttle_count >= 5
+        assert reactive.qos.violation_count >= reactive.throttle_count
+
+
+class TestStaticProfiling:
+    def test_profile_measures_mean_demand(self):
+        app = ConstantApp(demand_vector=ResourceVector(cpu=2.0, memory=100.0))
+        profile = profile_application(app, ticks=10)
+        assert profile.mean_demand.cpu == pytest.approx(2.0)
+        assert profile.profile_ticks == 10
+
+    def test_profile_stops_at_finish(self):
+        app = ConstantApp(total_work=3.0)
+        profile = profile_application(app, ticks=50)
+        assert profile.profile_ticks == 3
+
+    def test_ticks_validated(self):
+        with pytest.raises(ValueError):
+            profile_application(ConstantApp(), ticks=0)
+
+    def test_admission_accepts_fitting_combination(self):
+        sens = profile_application(
+            ConstantApp(name="a", demand_vector=ResourceVector(cpu=1.0)), ticks=5
+        )
+        batch = profile_application(
+            ConstantApp(name="b", demand_vector=ResourceVector(cpu=1.0)), ticks=5
+        )
+        assert static_admission_decision(sens, [batch], default_host_capacity())
+
+    def test_admission_rejects_oversubscription(self):
+        sens = profile_application(
+            ConstantApp(name="a", demand_vector=ResourceVector(cpu=3.0)), ticks=5
+        )
+        batch = profile_application(
+            ConstantApp(name="b", demand_vector=ResourceVector(cpu=3.0)), ticks=5
+        )
+        assert not static_admission_decision(sens, [batch], default_host_capacity())
+
+    def test_headroom_validated(self):
+        sens = profile_application(ConstantApp(name="a"), ticks=2)
+        with pytest.raises(ValueError):
+            static_admission_decision(sens, [], default_host_capacity(), headroom=0.0)
+
+    def test_reject_policy_pauses_batch(self):
+        host, _ = contended_host()
+        policy = StaticColocationPolicy(admit=False)
+        SimulationEngine(host, [policy]).run(ticks=5)
+        assert host.container("bomb").is_paused
+        assert policy.rejected_containers == ["bomb"]
+
+    def test_admit_policy_never_acts(self):
+        host, _ = contended_host()
+        policy = StaticColocationPolicy(admit=True)
+        SimulationEngine(host, [policy]).run(ticks=5)
+        assert host.container("bomb").is_running
+
+    def test_profile_misses_workload_dynamics(self):
+        """The paper's core criticism: a profile taken off-peak admits a
+        co-location that violates at peak."""
+        from repro.workloads.traces import WorkloadTrace
+
+        # Profile the VLC server during a low-intensity window...
+        trace = WorkloadTrace([0.3, 1.0], sample_seconds=100.0, wrap=False)
+        profiled = VlcStreamingServer(trace=trace, noise_std=0.0)
+        sens_profile = profile_application(profiled, ticks=20)
+        batch_profile = profile_application(
+            ConstantApp(name="b", demand_vector=ResourceVector(cpu=2.5)), ticks=5
+        )
+        admitted = static_admission_decision(
+            sens_profile, [batch_profile], default_host_capacity()
+        )
+        assert admitted  # looks fine off-peak...
+        # ...but at peak the combination exceeds capacity.
+        peak_cpu = 3.0 + 2.5
+        assert peak_cpu > default_host_capacity().cpu

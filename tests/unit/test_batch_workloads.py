@@ -1,0 +1,127 @@
+"""Unit tests for Soplex, TwitterAnalysis, CpuBomb and MemoryBomb."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+from repro.sim.contention import Allocation
+from repro.sim.resources import ResourceVector
+from repro.workloads.bombs import CpuBomb, MemoryBomb
+from repro.workloads.cloudsuite import TwitterAnalysis
+from repro.workloads.spec import Soplex
+
+
+def allocation(progress=1.0):
+    return Allocation(granted=ResourceVector.zero(), progress=progress)
+
+
+class TestSoplex:
+    def test_steady_cpu(self, clock):
+        app = Soplex(noise_std=0.0, cpu=1.0)
+        assert app.demand(clock).cpu == pytest.approx(1.0)
+
+    def test_memory_drifts_gradually(self, clock):
+        app = Soplex(noise_std=0.0, total_work=100.0,
+                     memory_start=400.0, memory_end=1400.0)
+        start = app.demand(clock).memory
+        for _ in range(50):
+            app.advance(allocation(), clock)
+        middle = app.demand(clock).memory
+        assert start == pytest.approx(400.0)
+        assert middle == pytest.approx(900.0)
+
+    def test_memory_bw_drifts_too(self, clock):
+        app = Soplex(noise_std=0.0, total_work=100.0)
+        start_bw = app.demand(clock).memory_bw
+        for _ in range(99):
+            app.advance(allocation(), clock)
+        end_bw = app.demand(clock).memory_bw
+        assert end_bw > start_bw
+
+    def test_finishes(self, clock):
+        app = Soplex(noise_std=0.0, total_work=5.0)
+        for _ in range(5):
+            app.advance(allocation(), clock)
+        assert app.finished
+
+
+class TestTwitterAnalysis:
+    def test_alternating_phases(self, clock):
+        app = TwitterAnalysis(
+            noise_std=0.0, cpu_phase_ticks=10.0, memory_phase_ticks=5.0
+        )
+        assert app.current_phase_name() == "cpu"
+        for _ in range(10):
+            app.advance(allocation(), clock)
+        assert app.current_phase_name() == "memory"
+        for _ in range(5):
+            app.advance(allocation(), clock)
+        assert app.current_phase_name() == "cpu"
+
+    def test_memory_phase_has_large_footprint(self, clock):
+        app = TwitterAnalysis(noise_std=0.0, cpu_phase_ticks=1.0, memory_phase_ticks=1.0)
+        app.advance(allocation(), clock)  # move into memory phase
+        demand = app.demand(clock)
+        assert demand.memory > 4000.0
+        assert demand.memory_bw > 2000.0
+
+    def test_cpu_phase_is_compute_bound(self, clock):
+        app = TwitterAnalysis(noise_std=0.0)
+        demand = app.demand(clock)
+        assert demand.cpu > 2.0
+        assert demand.memory < 1000.0
+
+    def test_endless_when_total_work_none(self, clock):
+        app = TwitterAnalysis(noise_std=0.0, total_work=None)
+        for _ in range(200):
+            app.advance(allocation(), clock)
+        assert not app.finished
+
+
+class TestCpuBomb:
+    def test_saturates_all_cores(self, clock):
+        app = CpuBomb(noise_std=0.0, threads=4.0)
+        assert app.demand(clock).cpu == pytest.approx(4.0)
+
+    def test_never_changes_phase(self, clock):
+        app = CpuBomb(noise_std=0.0)
+        for _ in range(100):
+            app.advance(allocation(), clock)
+        assert app.phase_transitions == []
+        assert app.current_phase_name() == "spin"
+
+
+class TestMemoryBomb:
+    def test_allocation_ramps(self, clock):
+        app = MemoryBomb(noise_std=0.0, target_mb=6000.0, ramp_ticks=10.0)
+        assert app.demand(clock).memory == pytest.approx(0.0)
+        for _ in range(5):
+            app.advance(allocation(), clock)
+        assert app.demand(clock).memory == pytest.approx(3000.0)
+        for _ in range(5):
+            app.advance(allocation(), clock)
+        assert app.demand(clock).memory == pytest.approx(6000.0)
+
+    def test_sweep_spikes_memory_bandwidth(self, clock):
+        app = MemoryBomb(
+            noise_std=0.0, ramp_ticks=2.0, sweep_period=10.0, sweep_ticks=3.0,
+            sweep_bandwidth=5000.0,
+        )
+        for _ in range(2):
+            app.advance(allocation(), clock)
+        assert app.in_sweep()
+        assert app.demand(clock).memory_bw == pytest.approx(5000.0)
+        for _ in range(3):
+            app.advance(allocation(), clock)
+        assert not app.in_sweep()
+        assert app.demand(clock).memory_bw < 1000.0
+
+    def test_ramp_ticks_validated(self):
+        with pytest.raises(ValueError):
+            MemoryBomb(ramp_ticks=0.0)
+
+    def test_total_work_finishes(self, clock):
+        app = MemoryBomb(noise_std=0.0, total_work=3.0)
+        for _ in range(3):
+            app.advance(allocation(), clock)
+        assert app.finished
+        assert app.demand(clock).is_zero()

@@ -1,0 +1,80 @@
+"""Unit tests for change-point detection."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.changepoint import (
+    ChangePoint,
+    cusum_changepoints,
+    sliding_mean_shifts,
+)
+
+
+def step_series(levels, samples_per_level=40, noise=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [
+        rng.normal(level, noise, size=samples_per_level) for level in levels
+    ]
+    return np.concatenate(parts)
+
+
+class TestCusum:
+    def test_flat_series_no_changes(self):
+        series = step_series([1.0], samples_per_level=200)
+        assert cusum_changepoints(series) == []
+
+    def test_single_step_detected_once(self):
+        series = step_series([1.0, 2.0])
+        changes = cusum_changepoints(series)
+        assert len(changes) == 1
+        assert 38 <= changes[0].index <= 48
+        assert changes[0].magnitude > 0
+
+    def test_downward_step_negative_magnitude(self):
+        series = step_series([2.0, 1.0])
+        changes = cusum_changepoints(series)
+        assert len(changes) == 1
+        assert changes[0].magnitude < 0
+
+    def test_multiple_steps(self):
+        series = step_series([1.0, 2.0, 1.0, 3.0])
+        changes = cusum_changepoints(series)
+        assert len(changes) == 3
+
+    def test_short_series(self):
+        assert cusum_changepoints([1.0, 2.0]) == []
+
+    def test_min_gap_enforced(self):
+        series = step_series([1.0, 5.0], samples_per_level=30)
+        changes = cusum_changepoints(series, min_gap=10)
+        for a, b in zip(changes, changes[1:]):
+            assert b.index - a.index >= 10
+
+
+class TestSlidingMeanShifts:
+    def test_single_step(self):
+        series = step_series([1.0, 2.0])
+        changes = sliding_mean_shifts(series, window=10)
+        assert len(changes) >= 1
+        assert any(35 <= c.index <= 45 for c in changes)
+
+    def test_flat_series(self):
+        series = step_series([1.0], samples_per_level=100)
+        assert sliding_mean_shifts(series, window=10) == []
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            sliding_mean_shifts([1.0] * 50, window=1)
+
+    def test_magnitude_sign(self):
+        up = sliding_mean_shifts(step_series([1.0, 3.0]), window=10)
+        down = sliding_mean_shifts(step_series([3.0, 1.0]), window=10)
+        assert up[0].magnitude > 0
+        assert down[0].magnitude < 0
+
+    def test_gradual_drift_ignored_by_wide_threshold(self):
+        drift = np.linspace(0.0, 1.0, 200) + np.random.default_rng(1).normal(
+            0, 0.05, 200
+        )
+        changes = sliding_mean_shifts(drift, window=10, z_threshold=10.0)
+        assert changes == []

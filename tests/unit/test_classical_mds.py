@@ -1,0 +1,68 @@
+"""Unit tests for classical (Torgerson) MDS."""
+
+import numpy as np
+import pytest
+
+from repro.mds.classical import classical_mds
+from repro.mds.distances import pairwise_distances
+
+
+class TestClassicalMds:
+    def test_exact_recovery_of_planar_config(self):
+        rng = np.random.default_rng(0)
+        original = rng.normal(size=(10, 2))
+        distances = pairwise_distances(original)
+        embedding = classical_mds(distances, n_components=2)
+        recovered = pairwise_distances(embedding)
+        np.testing.assert_allclose(recovered, distances, atol=1e-8)
+
+    def test_centered_output(self):
+        rng = np.random.default_rng(1)
+        distances = pairwise_distances(rng.normal(size=(7, 3)))
+        embedding = classical_mds(distances, n_components=2)
+        np.testing.assert_allclose(embedding.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_output_shape(self):
+        distances = pairwise_distances(np.random.default_rng(2).normal(size=(5, 4)))
+        assert classical_mds(distances, n_components=3).shape == (5, 3)
+
+    def test_single_point(self):
+        assert classical_mds(np.zeros((1, 1))).shape == (1, 2)
+
+    def test_empty(self):
+        assert classical_mds(np.zeros((0, 0))).shape == (0, 2)
+
+    def test_two_points_preserve_distance(self):
+        distances = np.array([[0.0, 2.0], [2.0, 0.0]])
+        embedding = classical_mds(distances, n_components=2)
+        assert np.linalg.norm(embedding[0] - embedding[1]) == pytest.approx(2.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((3, 2)))
+
+    def test_invalid_components_rejected(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((3, 3)), n_components=0)
+
+    def test_higher_dim_data_projected_reasonably(self):
+        # Points on a 5-D structure: 2-D classical MDS should still
+        # roughly order distances (approximation, not exact).
+        rng = np.random.default_rng(3)
+        original = rng.normal(size=(12, 5))
+        distances = pairwise_distances(original)
+        embedding = classical_mds(distances, n_components=2)
+        recovered = pairwise_distances(embedding)
+        # Correlation between target and embedded distances is high.
+        triu = np.triu_indices(12, k=1)
+        correlation = np.corrcoef(distances[triu], recovered[triu])[0, 1]
+        assert correlation > 0.7
+
+    def test_pads_when_rank_deficient(self):
+        # Three collinear points have rank-1 geometry; ask for 2 dims.
+        points = np.array([[0.0], [1.0], [2.0]])
+        distances = pairwise_distances(points)
+        embedding = classical_mds(distances, n_components=2)
+        assert embedding.shape == (3, 2)
+        recovered = pairwise_distances(embedding)
+        np.testing.assert_allclose(recovered, distances, atol=1e-8)

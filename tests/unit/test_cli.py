@@ -1,0 +1,88 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "stayaway"
+        assert args.sensitive == "vlc-streaming"
+        assert args.ticks == 1200
+
+    def test_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "nonsense"])
+
+
+class TestCommands:
+    def test_list_workloads(self):
+        code, output = run_cli(["list-workloads"])
+        assert code == 0
+        assert "vlc-streaming" in output
+        assert "cpubomb" in output
+        assert "sensitive" in output and "batch" in output
+
+    def test_run_stayaway(self):
+        code, output = run_cli([
+            "run", "--ticks", "120", "--batch", "cpubomb",
+            "--policy", "stayaway", "--seed", "1",
+        ])
+        assert code == 0
+        assert "violations" in output
+        assert "learned beta" in output
+
+    def test_run_unmanaged(self):
+        code, output = run_cli([
+            "run", "--ticks", "80", "--policy", "unmanaged",
+        ])
+        assert code == 0
+        assert "learned beta" not in output
+
+    def test_compare(self):
+        code, output = run_cli([
+            "compare", "--ticks", "120", "--batch", "cpubomb", "--seed", "2",
+        ])
+        assert code == 0
+        assert "isolated" in output
+        assert "unmanaged" in output
+        assert "stayaway" in output
+        assert "gained utilization" in output
+
+    def test_multiple_batches(self):
+        code, output = run_cli([
+            "run", "--ticks", "80",
+            "--batch", "soplex", "--batch", "twitter-analysis",
+        ])
+        assert code == 0
+
+    def test_template(self, tmp_path):
+        out_path = tmp_path / "map.json"
+        code, output = run_cli([
+            "template", "--ticks", "150", "--batch", "cpubomb",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        from repro.core.template import MapTemplate
+
+        template = MapTemplate.load(out_path)
+        assert template.representatives.shape[0] >= 1

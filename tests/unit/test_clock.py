@@ -1,0 +1,50 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        clock = SimulationClock()
+        assert clock.tick == 0
+        assert clock.now == 0.0
+
+    def test_advance_default_one_tick(self):
+        clock = SimulationClock()
+        assert clock.advance() == 1
+        assert clock.tick == 1
+
+    def test_advance_many(self):
+        clock = SimulationClock()
+        clock.advance(10)
+        assert clock.tick == 10
+
+    def test_now_scales_with_tick_seconds(self):
+        clock = SimulationClock(tick_seconds=2.5)
+        clock.advance(4)
+        assert clock.now == pytest.approx(10.0)
+
+    def test_negative_advance_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_non_positive_tick_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationClock(tick_seconds=0.0)
+        with pytest.raises(ValueError):
+            SimulationClock(tick_seconds=-1.0)
+
+    def test_reset(self):
+        clock = SimulationClock()
+        clock.advance(5)
+        clock.reset()
+        assert clock.tick == 0
+        assert clock.now == 0.0
+
+    def test_advance_zero_is_noop(self):
+        clock = SimulationClock()
+        clock.advance(0)
+        assert clock.tick == 0

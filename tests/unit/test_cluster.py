@@ -1,0 +1,136 @@
+"""Unit tests for the multi-host cluster and migration."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.container import Container
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def make_cluster(**kwargs):
+    return Cluster(host_names=["h1", "h2"], **kwargs)
+
+
+class TestConstruction:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Cluster()
+        with pytest.raises(ValueError):
+            Cluster(host_names=["a"], hosts={"a": Host()})
+
+    def test_prebuilt_hosts_share_clock(self):
+        hosts = {"a": Host(), "b": Host()}
+        cluster = Cluster(hosts=hosts)
+        assert hosts["a"].clock is cluster.clock
+        assert hosts["b"].clock is cluster.clock
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(host_names=[])
+
+    def test_migration_rate_validated(self):
+        with pytest.raises(ValueError):
+            make_cluster(migration_mb_per_tick=0.0)
+
+
+class TestStepping:
+    def test_lockstep_clock(self):
+        cluster = make_cluster()
+        cluster.step()
+        cluster.step()
+        assert cluster.clock.tick == 2
+        for host in cluster.hosts.values():
+            assert len(host.history) == 2
+
+    def test_run(self):
+        cluster = make_cluster()
+        snapshots = cluster.run(5)
+        assert len(snapshots) == 5
+        assert set(snapshots[0]) == {"h1", "h2"}
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster().run(-1)
+
+    def test_middleware_hook(self):
+        events = []
+
+        class Recorder:
+            def on_cluster_tick(self, snapshots, cluster):
+                events.append(cluster.clock.tick)
+
+        cluster = make_cluster()
+        cluster.add_middleware(Recorder())
+        cluster.run(3)
+        assert events == [1, 2, 3]
+
+
+class TestMigration:
+    def add_app(self, cluster, host, name, memory=1000.0):
+        app = ConstantApp(
+            name=name, demand_vector=ResourceVector(cpu=1.0, memory=memory)
+        )
+        cluster.host(host).add_container(Container(name=name, app=app))
+        return app
+
+    def test_host_of(self):
+        cluster = make_cluster()
+        self.add_app(cluster, "h1", "job")
+        assert cluster.host_of("job") == "h1"
+        assert cluster.host_of("ghost") is None
+
+    def test_migrate_moves_container_after_downtime(self):
+        cluster = make_cluster(migration_mb_per_tick=500.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()  # container starts and consumes memory
+        record = cluster.migrate("job", "h2")
+        assert record.downtime_ticks == 2  # 1000 MB at 500 MB/tick
+        assert cluster.host_of("job") is None  # in flight
+        cluster.step()
+        assert cluster.host_of("job") is None
+        cluster.step()
+        cluster.step()
+        assert cluster.host_of("job") == "h2"
+        assert cluster.host("h2").container("job").is_running
+
+    def test_migration_validations(self):
+        cluster = make_cluster()
+        self.add_app(cluster, "h1", "job")
+        with pytest.raises(ValueError):
+            cluster.migrate("ghost", "h2")
+        with pytest.raises(ValueError):
+            cluster.migrate("job", "nonexistent")
+        with pytest.raises(ValueError):
+            cluster.migrate("job", "h1")
+
+    def test_migration_costs_downtime_work(self):
+        """The paper's point: migration is slow — the job makes no
+        progress while its image is copied."""
+        cluster = make_cluster(migration_mb_per_tick=250.0)
+        app = self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.run(3)
+        work_before = app.work_done
+        cluster.migrate("job", "h2")  # 4 ticks of downtime
+        cluster.run(4)
+        assert app.work_done == pytest.approx(work_before)
+        cluster.run(3)
+        assert app.work_done > work_before
+
+    def test_in_flight_listing(self):
+        cluster = make_cluster(migration_mb_per_tick=100.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        cluster.migrate("job", "h2")
+        assert len(cluster.in_flight_migrations) == 1
+        cluster.run(11)
+        assert cluster.in_flight_migrations == []
+
+    def test_total_cpu_utilization(self):
+        cluster = make_cluster()
+        self.add_app(cluster, "h1", "job")
+        cluster.step()
+        utilization = cluster.total_cpu_utilization()
+        assert 0.0 < utilization < 1.0

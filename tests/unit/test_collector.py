@@ -1,0 +1,76 @@
+"""Unit tests for the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.collector import BATCH_LOGICAL_VM, MetricsCollector
+from repro.sim.container import Container
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def build_host(batch_count=2):
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=1.0, memory=500.0))
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    for i in range(batch_count):
+        app = ConstantApp(
+            name=f"batch{i}", demand_vector=ResourceVector(cpu=0.5, memory=100.0)
+        )
+        host.add_container(Container(name=f"batch{i}", app=app))
+    return host
+
+
+class TestAggregatedCollection:
+    def test_uninitialized_access_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(RuntimeError):
+            collector.labels
+        with pytest.raises(RuntimeError):
+            collector.latest
+
+    def test_vm_blocks_are_sensitive_plus_logical_batch(self):
+        host = build_host()
+        collector = MetricsCollector(aggregate_batch=True)
+        collector.on_tick(host.step(), host)
+        assert collector.vm_names == ("sens", BATCH_LOGICAL_VM)
+        assert collector.dimension == 10
+
+    def test_batch_usage_is_summed(self):
+        host = build_host(batch_count=2)
+        collector = MetricsCollector(aggregate_batch=True)
+        collector.on_tick(host.step(), host)
+        sample = collector.latest
+        assert sample.value_of("batch:cpu") == pytest.approx(1.0)  # 2 x 0.5
+        assert sample.value_of("sens:cpu") == pytest.approx(1.0)
+
+    def test_samples_accumulate(self):
+        host = build_host()
+        collector = MetricsCollector()
+        for _ in range(4):
+            collector.on_tick(host.step(), host)
+        assert len(collector.samples) == 4
+        assert collector.as_matrix().shape == (4, 10)
+
+    def test_paused_batch_reads_zero(self):
+        host = build_host(batch_count=1)
+        collector = MetricsCollector()
+        collector.on_tick(host.step(), host)
+        host.pause_container("batch0")
+        collector.on_tick(host.step(), host)
+        assert collector.latest.value_of("batch:cpu") == 0.0
+
+
+class TestPerContainerCollection:
+    def test_every_container_gets_a_block(self):
+        host = build_host(batch_count=2)
+        collector = MetricsCollector(aggregate_batch=False)
+        collector.on_tick(host.step(), host)
+        assert collector.vm_names == ("sens", "batch0", "batch1")
+        assert collector.dimension == 15
+
+    def test_empty_matrix_before_samples(self):
+        collector = MetricsCollector()
+        assert collector.as_matrix().shape == (0, 0)

@@ -1,0 +1,113 @@
+"""Unit tests for composite workloads."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+from repro.sim.container import Container
+from repro.sim.contention import Allocation
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+from repro.workloads.composite import ModulatedApplication, SequenceApplication
+from repro.workloads.spec import Soplex
+from repro.workloads.traces import WorkloadTrace
+from repro.workloads.vlc import VlcTranscoder
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def allocation(demand, progress=1.0):
+    return Allocation(granted=demand.scaled(progress), progress=progress)
+
+
+class TestSequenceApplication:
+    def make(self):
+        return SequenceApplication(
+            [
+                ConstantApp(name="a", demand_vector=ResourceVector(cpu=1.0),
+                            total_work=3.0),
+                ConstantApp(name="b", demand_vector=ResourceVector(cpu=2.0),
+                            total_work=2.0),
+            ]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequenceApplication([])
+        with pytest.raises(ValueError):
+            SequenceApplication([SensitiveStub()])
+
+    def test_runs_stages_in_order(self, clock):
+        app = self.make()
+        assert app.demand(clock).cpu == pytest.approx(1.0)
+        for _ in range(3):
+            app.advance(allocation(app.demand(clock)), clock)
+        assert app.stage_index == 1
+        assert app.demand(clock).cpu == pytest.approx(2.0)
+
+    def test_finishes_after_last_stage(self, clock):
+        app = self.make()
+        for _ in range(5):
+            app.advance(allocation(app.demand(clock)), clock)
+        assert app.finished
+        assert app.current_stage is None
+        assert app.demand(clock).is_zero()
+
+    def test_starvation_stretches_sequence(self, clock):
+        app = self.make()
+        for _ in range(10):
+            app.advance(allocation(app.demand(clock), progress=0.5), clock)
+        assert app.finished  # 10 ticks at 0.5 = 5 work ticks
+
+    def test_realistic_stages_on_host(self):
+        queue = SequenceApplication(
+            [Soplex(total_work=5.0, seed=1), VlcTranscoder(total_work=5.0, seed=2)],
+            name="queue",
+        )
+        host = Host()
+        host.add_container(Container(name="queue", app=queue))
+        SimulationEngine(host, []).run(ticks=12)
+        assert queue.finished
+
+
+class TestModulatedApplication:
+    def test_demand_scaled_by_trace(self):
+        inner = ConstantApp(demand_vector=ResourceVector(cpu=2.0))
+        trace = WorkloadTrace([0.5, 1.0], sample_seconds=10.0, wrap=False)
+        app = ModulatedApplication(inner, trace)
+        clock = SimulationClock()
+        assert app.demand(clock).cpu == pytest.approx(1.0)
+        clock.advance(10)
+        assert app.demand(clock).cpu == pytest.approx(2.0)
+
+    def test_floor_applies(self):
+        inner = ConstantApp(demand_vector=ResourceVector(cpu=2.0))
+        trace = WorkloadTrace.constant(0.0)
+        app = ModulatedApplication(inner, trace, floor=0.25)
+        assert app.demand(SimulationClock()).cpu == pytest.approx(0.5)
+
+    def test_floor_validated(self):
+        with pytest.raises(ValueError):
+            ModulatedApplication(ConstantApp(), WorkloadTrace.constant(1.0),
+                                 floor=2.0)
+
+    def test_finishes_with_inner(self, clock):
+        inner = ConstantApp(total_work=2.0)
+        app = ModulatedApplication(inner, WorkloadTrace.constant(1.0))
+        for _ in range(2):
+            app.advance(allocation(app.demand(clock)), clock)
+        assert inner.finished and app.finished
+        assert app.demand(clock).is_zero()
+
+    def test_kind_follows_inner(self):
+        batch = ModulatedApplication(ConstantApp(), WorkloadTrace.constant(1.0))
+        assert not batch.is_sensitive
+        sensitive = ModulatedApplication(SensitiveStub(),
+                                         WorkloadTrace.constant(1.0))
+        assert sensitive.is_sensitive
+
+    def test_qos_report_forwarded(self, clock):
+        inner = SensitiveStub()
+        app = ModulatedApplication(inner, WorkloadTrace.constant(1.0))
+        app.advance(allocation(app.demand(clock), progress=0.7), clock)
+        assert app.qos_report().value == pytest.approx(0.7)

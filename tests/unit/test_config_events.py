@@ -1,0 +1,70 @@
+"""Unit tests for StayAwayConfig and the event log."""
+
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.core.events import Event, EventKind, EventLog
+
+
+class TestStayAwayConfig:
+    def test_paper_defaults(self):
+        config = StayAwayConfig()
+        assert config.beta_initial == 0.01  # §3.3
+        assert config.n_samples == 5        # §3.2.3
+        assert config.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period": 0},
+            {"n_samples": 0},
+            {"majority": 0.0},
+            {"majority": 1.5},
+            {"dedup_epsilon": -0.1},
+            {"beta_initial": 0.0},
+            {"beta_increment": -0.1},
+            {"probe_probability": 1.5},
+            {"refit_interval": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StayAwayConfig(**kwargs)
+
+    def test_custom_values_accepted(self):
+        config = StayAwayConfig(period=5, n_samples=9, majority=1.0)
+        assert config.period == 5
+
+
+class TestEventLog:
+    def test_record_and_iterate(self):
+        log = EventLog()
+        event = log.record(3, EventKind.THROTTLE, targets=["b"])
+        assert isinstance(event, Event)
+        assert len(log) == 1
+        assert list(log)[0].detail == {"targets": ["b"]}
+
+    def test_of_kind_and_count(self):
+        log = EventLog()
+        log.record(0, EventKind.THROTTLE)
+        log.record(1, EventKind.RESUME)
+        log.record(2, EventKind.THROTTLE)
+        assert log.count(EventKind.THROTTLE) == 2
+        assert [e.tick for e in log.of_kind(EventKind.THROTTLE)] == [0, 2]
+
+    def test_last_of_kind(self):
+        log = EventLog()
+        log.record(0, EventKind.VIOLATION)
+        log.record(5, EventKind.VIOLATION)
+        assert log.last_of_kind(EventKind.VIOLATION).tick == 5
+
+    def test_last_of_kind_missing(self):
+        with pytest.raises(LookupError):
+            EventLog().last_of_kind(EventKind.REFIT)
+
+    def test_detail_is_copied(self):
+        log = EventLog()
+        payload = {"a": 1}
+        event = log.record(0, EventKind.NEW_STATE, **payload)
+        payload["a"] = 2
+        assert event.detail["a"] == 1

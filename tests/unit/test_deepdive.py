@@ -1,0 +1,100 @@
+"""Unit tests for the DeepDive-style migration baseline."""
+
+import pytest
+
+from repro.baselines.deepdive import DeepDiveLike
+from repro.sim.cluster import Cluster
+from repro.sim.container import Container
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def build_cluster():
+    """h1: sensitive + CPU hog (interference); h2: empty."""
+    cluster = Cluster(host_names=["h1", "h2"], migration_mb_per_tick=500.0)
+    sensitive = SensitiveStub(
+        name="svc", demand_vector=ResourceVector(cpu=3.0, memory=500.0)
+    )
+    hog = ConstantApp(
+        name="hog", demand_vector=ResourceVector(cpu=4.0, memory=1000.0)
+    )
+    cluster.host("h1").add_container(
+        Container(name="svc", app=sensitive, sensitive=True)
+    )
+    cluster.host("h1").add_container(Container(name="hog", app=hog))
+    return cluster, sensitive
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ValueError):
+            DeepDiveLike(persistence=0)
+        with pytest.raises(ValueError):
+            DeepDiveLike(cooldown=-1)
+
+
+class TestMigrationBehaviour:
+    def test_migrates_aggressor_after_persistence(self):
+        cluster, sensitive = build_cluster()
+        baseline = DeepDiveLike(persistence=3, cooldown=10)
+        cluster.add_middleware(baseline)
+        cluster.run(10)
+        assert baseline.migrations_triggered == 1
+        record = cluster.migrations[0]
+        assert record.container == "hog"
+        assert record.source == "h1"
+        assert record.destination == "h2"
+
+    def test_sensitive_recovers_after_migration(self):
+        cluster, sensitive = build_cluster()
+        cluster.add_middleware(DeepDiveLike(persistence=3, cooldown=10))
+        cluster.run(20)
+        assert sensitive.qos_report().value == pytest.approx(1.0)
+
+    def test_migration_pays_downtime(self):
+        cluster, _ = build_cluster()
+        baseline = DeepDiveLike(persistence=2, cooldown=50)
+        cluster.add_middleware(baseline)
+        cluster.run(30)
+        record = cluster.migrations[0]
+        # 1000 MB at 500 MB/tick -> at least 2 ticks unavailable.
+        assert record.downtime_ticks >= 2
+
+    def test_no_migration_without_violation(self):
+        cluster = Cluster(host_names=["h1", "h2"])
+        app = SensitiveStub(name="svc", demand_vector=ResourceVector(cpu=1.0))
+        cluster.host("h1").add_container(
+            Container(name="svc", app=app, sensitive=True)
+        )
+        baseline = DeepDiveLike(persistence=2)
+        cluster.add_middleware(baseline)
+        cluster.run(15)
+        assert baseline.migrations_triggered == 0
+
+    def test_no_destination_no_migration(self):
+        cluster = Cluster(host_names=["only"])
+        sensitive = SensitiveStub(
+            name="svc", demand_vector=ResourceVector(cpu=3.0)
+        )
+        hog = ConstantApp(name="hog", demand_vector=ResourceVector(cpu=4.0))
+        cluster.host("only").add_container(
+            Container(name="svc", app=sensitive, sensitive=True)
+        )
+        cluster.host("only").add_container(Container(name="hog", app=hog))
+        baseline = DeepDiveLike(persistence=2)
+        cluster.add_middleware(baseline)
+        cluster.run(10)
+        assert baseline.migrations_triggered == 0
+
+    def test_cooldown_limits_migration_rate(self):
+        cluster, _ = build_cluster()
+        # Second hog so a second migration could fire immediately.
+        hog2 = ConstantApp(
+            name="hog2", demand_vector=ResourceVector(cpu=4.0, memory=800.0)
+        )
+        cluster.host("h1").add_container(Container(name="hog2", app=hog2))
+        baseline = DeepDiveLike(persistence=2, cooldown=100)
+        cluster.add_middleware(baseline)
+        cluster.run(30)
+        assert baseline.migrations_triggered == 1

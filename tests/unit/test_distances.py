@@ -1,0 +1,57 @@
+"""Unit tests for distance computations."""
+
+import numpy as np
+import pytest
+
+from repro.mds.distances import pairwise_distances, point_distances
+
+
+class TestPairwiseDistances:
+    def test_shape_and_diagonal(self):
+        points = np.random.default_rng(0).normal(size=(6, 3))
+        distances = pairwise_distances(points)
+        assert distances.shape == (6, 6)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+
+    def test_symmetry(self):
+        points = np.random.default_rng(1).normal(size=(5, 4))
+        distances = pairwise_distances(points)
+        np.testing.assert_allclose(distances, distances.T)
+
+    def test_known_values(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(points)
+        assert distances[0, 1] == pytest.approx(5.0)
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(8, 5))
+        fast = pairwise_distances(points)
+        for i in range(8):
+            for j in range(8):
+                naive = np.linalg.norm(points[i] - points[j])
+                assert fast[i, j] == pytest.approx(naive, abs=1e-9)
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.array([1.0, 2.0]))
+
+    def test_identical_points_numerically_stable(self):
+        points = np.ones((4, 3)) * 1e6
+        distances = pairwise_distances(points)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-3)
+        assert np.all(distances >= 0.0)
+
+
+class TestPointDistances:
+    def test_known_values(self):
+        out = point_distances(np.zeros(2), np.array([[3.0, 4.0], [0.0, 1.0]]))
+        np.testing.assert_allclose(out, [5.0, 1.0])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            point_distances(np.zeros(3), np.zeros((2, 2)))
+
+    def test_non_2d_points_rejected(self):
+        with pytest.raises(ValueError):
+            point_distances(np.zeros(2), np.zeros(2))

@@ -1,0 +1,81 @@
+"""Unit tests for trajectory step features."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.features import (
+    step_angles,
+    step_features,
+    step_lengths,
+    turning_angles,
+)
+
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestStepLengths:
+    def test_unit_square(self):
+        np.testing.assert_allclose(step_lengths(SQUARE), [1.0, 1.0, 1.0])
+
+    def test_short_tracks(self):
+        assert step_lengths(np.zeros((1, 2))).size == 0
+        assert step_lengths(np.zeros((0, 2))).size == 0
+
+    def test_diagonal(self):
+        track = np.array([[0.0, 0.0], [3.0, 4.0]])
+        np.testing.assert_allclose(step_lengths(track), [5.0])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            step_lengths(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            step_lengths(np.zeros(4))
+
+
+class TestStepAngles:
+    def test_cardinal_directions(self):
+        angles = step_angles(SQUARE)
+        np.testing.assert_allclose(angles, [0.0, np.pi / 2, np.pi])
+
+    def test_negative_direction(self):
+        track = np.array([[0.0, 0.0], [0.0, -1.0]])
+        np.testing.assert_allclose(step_angles(track), [-np.pi / 2])
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        track = rng.normal(size=(50, 2))
+        angles = step_angles(track)
+        assert np.all(angles >= -np.pi) and np.all(angles <= np.pi)
+
+
+class TestStepFeatures:
+    def test_consistent_with_individual_functions(self):
+        rng = np.random.default_rng(1)
+        track = rng.normal(size=(20, 2))
+        distances, angles = step_features(track)
+        np.testing.assert_allclose(distances, step_lengths(track))
+        np.testing.assert_allclose(angles, step_angles(track))
+
+    def test_empty(self):
+        distances, angles = step_features(np.zeros((1, 2)))
+        assert distances.size == 0 and angles.size == 0
+
+
+class TestTurningAngles:
+    def test_square_turns_left(self):
+        turns = turning_angles(SQUARE)
+        np.testing.assert_allclose(turns, [np.pi / 2, np.pi / 2])
+
+    def test_straight_line_no_turns(self):
+        track = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        np.testing.assert_allclose(turning_angles(track), [0.0])
+
+    def test_wraparound_into_range(self):
+        # A sharp reversal is pi, not -pi or 3pi.
+        track = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.0]])
+        turns = turning_angles(track)
+        assert abs(turns[0]) == pytest.approx(np.pi)
+
+    def test_too_short(self):
+        assert turning_angles(np.zeros((2, 2))).size == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the SVG figure builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    gained_utilization_figure,
+    qos_figure,
+    state_space_figure,
+    timeline_figure,
+)
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+@pytest.fixture(scope="module")
+def controller():
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0, memory=500.0))
+    bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0))
+    host.add_container(Container(name="s", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb, start_tick=5))
+    ctrl = StayAway(sensitive, config=StayAwayConfig(seed=17))
+    SimulationEngine(host, [ctrl]).run(ticks=60)
+    return ctrl
+
+
+class TestStateSpaceFigure:
+    def test_renders_modes_and_violations(self, controller):
+        svg = state_space_figure(controller)
+        assert "<svg" in svg
+        assert "violation-state" in svg
+        assert "colocated" in svg or "sensitive-only" in svg
+
+    def test_range_circles_drawn(self, controller):
+        with_ranges = state_space_figure(controller, show_ranges=True)
+        without = state_space_figure(controller, show_ranges=False)
+        assert with_ranges.count("<polyline") >= without.count("<polyline")
+
+    def test_save(self, controller, tmp_path):
+        path = tmp_path / "space.svg"
+        state_space_figure(controller, path=path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestQosFigure:
+    def test_renders_both_series_and_threshold(self):
+        svg = qos_figure(
+            unmanaged_qos=np.linspace(0.5, 0.7, 50),
+            stayaway_qos=np.full(50, 0.99),
+            threshold=0.95,
+        )
+        assert "without Stay-Away" in svg
+        assert "with Stay-Away" in svg
+        assert "QoS threshold" in svg
+
+    def test_empty_series_tolerated(self):
+        svg = qos_figure(np.array([]), np.array([]), threshold=0.9)
+        assert "<svg" in svg
+
+
+class TestGainFigure:
+    def test_two_bands(self):
+        svg = gained_utilization_figure(
+            unmanaged_gain=np.full(40, 30.0),
+            stayaway_gain=np.full(40, 10.0),
+        )
+        assert svg.count("<polygon") == 2
+        assert "upper band" in svg and "lower band" in svg
+
+
+class TestTimelineFigure:
+    def test_stress_and_batch_band(self, controller):
+        svg = timeline_figure(controller)
+        assert "sensitive stress" in svg
+        assert "batch executing" in svg
+        assert "<polygon" in svg

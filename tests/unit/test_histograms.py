@@ -1,0 +1,144 @@
+"""Unit tests for histograms and empirical distributions."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.histograms import EmpiricalDistribution, Histogram
+
+
+class TestHistogram:
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+
+    def test_bin_of(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        assert hist.bin_of(0.1) == 0
+        assert hist.bin_of(0.6) == 2
+        assert hist.bin_of(-5.0) == 0  # clipped
+        assert hist.bin_of(5.0) == 3   # clipped
+
+    def test_add_and_probabilities(self):
+        hist = Histogram(0.0, 1.0, bins=2)
+        hist.add(0.25)
+        hist.add(0.25)
+        hist.add(0.75)
+        np.testing.assert_allclose(hist.probabilities(), [2 / 3, 1 / 3])
+        assert hist.total == 3
+
+    def test_uniform_when_empty(self):
+        hist = Histogram(0.0, 1.0, bins=5)
+        np.testing.assert_allclose(hist.probabilities(), 0.2)
+
+    def test_weighted_add(self):
+        hist = Histogram(0.0, 1.0, bins=2)
+        hist.add(0.1, weight=3.0)
+        hist.add(0.9, weight=1.0)
+        np.testing.assert_allclose(hist.probabilities(), [0.75, 0.25])
+        with pytest.raises(ValueError):
+            hist.add(0.5, weight=-1.0)
+
+    def test_cdf_ends_at_one(self):
+        hist = Histogram(0.0, 1.0, bins=3)
+        hist.add(0.5)
+        cdf = hist.cdf()
+        assert cdf[-1] == 1.0
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_sampling_respects_support(self, rng):
+        hist = Histogram(2.0, 4.0, bins=8)
+        for value in np.linspace(2.1, 3.9, 50):
+            hist.add(value)
+        samples = hist.sample(rng, 500)
+        assert np.all(samples >= 2.0) and np.all(samples <= 4.0)
+
+    def test_sampling_respects_mass(self, rng):
+        hist = Histogram(0.0, 1.0, bins=2)
+        for _ in range(90):
+            hist.add(0.25)
+        for _ in range(10):
+            hist.add(0.75)
+        samples = hist.sample(rng, 2000)
+        low_fraction = np.mean(samples < 0.5)
+        assert low_fraction == pytest.approx(0.9, abs=0.04)
+
+    def test_sample_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0).sample(rng, 0)
+
+    def test_mode_bin_center(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        hist.add(0.6)
+        hist.add(0.65)
+        hist.add(0.1)
+        assert hist.mode_bin_center() == pytest.approx(0.625)
+
+    def test_skewness_sign(self):
+        right_skewed = Histogram(0.0, 10.0, bins=20)
+        for value in [1.0] * 50 + [9.0] * 5:
+            right_skewed.add(value)
+        assert right_skewed.skewness() > 0
+        symmetric = Histogram(0.0, 10.0, bins=20)
+        for value in [2.0, 8.0] * 25:
+            symmetric.add(value)
+        assert symmetric.skewness() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestEmpiricalDistribution:
+    def test_window_evicts_old_samples(self):
+        dist = EmpiricalDistribution(window=3)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            dist.add(value)
+        np.testing.assert_allclose(dist.samples, [2.0, 3.0, 4.0])
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution(window=0)
+
+    def test_ready_threshold(self):
+        dist = EmpiricalDistribution()
+        assert not dist.ready(3)
+        for value in [0.1, 0.2, 0.3]:
+            dist.add(value)
+        assert dist.ready(3)
+
+    def test_support_inferred(self):
+        dist = EmpiricalDistribution()
+        dist.add(2.0)
+        dist.add(5.0)
+        assert dist.support() == (2.0, 5.0)
+
+    def test_support_with_fixed_low(self):
+        dist = EmpiricalDistribution(low=0.0)
+        dist.add(5.0)
+        low, high = dist.support()
+        assert low == 0.0 and high == 5.0
+
+    def test_support_degenerate_widened(self):
+        dist = EmpiricalDistribution()
+        dist.add(3.0)
+        low, high = dist.support()
+        assert high > low
+
+    def test_empty_support_default(self):
+        assert EmpiricalDistribution().support() == (0.0, 1.0)
+
+    def test_sample_empty_returns_zeros(self, rng):
+        np.testing.assert_allclose(EmpiricalDistribution().sample(rng, 4), 0.0)
+
+    def test_sample_tracks_distribution(self, rng):
+        dist = EmpiricalDistribution(window=1000, bins=10)
+        data = rng.normal(5.0, 1.0, size=500)
+        for value in data:
+            dist.add(value)
+        samples = dist.sample(rng, 2000)
+        assert samples.mean() == pytest.approx(data.mean(), abs=0.2)
+
+    def test_mean(self):
+        dist = EmpiricalDistribution()
+        assert dist.mean() == 0.0
+        dist.add(2.0)
+        dist.add(4.0)
+        assert dist.mean() == pytest.approx(3.0)

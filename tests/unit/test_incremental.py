@@ -1,0 +1,99 @@
+"""Unit tests for incremental MDS placement and Procrustes alignment."""
+
+import numpy as np
+import pytest
+
+from repro.mds.distances import point_distances
+from repro.mds.incremental import place_point, placement_stress, procrustes_align
+
+
+class TestPlacePoint:
+    def test_exact_placement_in_plane(self):
+        rng = np.random.default_rng(0)
+        anchors = rng.normal(size=(8, 2))
+        true_point = np.array([0.3, -0.2])
+        deltas = point_distances(true_point, anchors)
+        placed = place_point(anchors, deltas)
+        # Distances are realizable, so residual stress should be ~0 and
+        # the placement should coincide with the true point.
+        assert placement_stress(placed, anchors, deltas) < 1e-10
+        np.testing.assert_allclose(placed, true_point, atol=1e-5)
+
+    def test_unrealizable_distances_minimize_stress(self):
+        anchors = np.array([[0.0, 0.0], [2.0, 0.0]])
+        deltas = np.array([0.5, 0.5])  # impossible: anchors 2 apart
+        placed = place_point(anchors, deltas)
+        # The optimum is on the segment between the anchors.
+        assert 0.0 <= placed[0] <= 2.0
+        assert abs(placed[1]) < 1e-6
+
+    def test_single_anchor(self):
+        placed = place_point(np.array([[1.0, 1.0]]), np.array([2.0]))
+        assert np.linalg.norm(placed - np.array([1.0, 1.0])) == pytest.approx(2.0)
+
+    def test_no_anchors(self):
+        np.testing.assert_allclose(place_point(np.empty((0, 2)), np.empty(0)), 0.0)
+
+    def test_negative_deltas_rejected(self):
+        with pytest.raises(ValueError):
+            place_point(np.zeros((2, 2)), np.array([1.0, -1.0]))
+
+    def test_delta_count_validated(self):
+        with pytest.raises(ValueError):
+            place_point(np.zeros((3, 2)), np.array([1.0]))
+
+    def test_respects_init(self):
+        anchors = np.array([[0.0, 0.0], [4.0, 0.0]])
+        deltas = np.array([2.0, 2.0])
+        # Two symmetric optima (y = +h and y = -h); init selects one.
+        up = place_point(anchors, deltas, init=np.array([2.0, 1.0]))
+        down = place_point(anchors, deltas, init=np.array([2.0, -1.0]))
+        assert up[1] > 0 > down[1]
+
+
+class TestProcrustes:
+    def test_undoes_rotation_and_translation(self):
+        rng = np.random.default_rng(1)
+        reference = rng.normal(size=(10, 2))
+        theta = 0.7
+        rotation = np.array(
+            [[np.cos(theta), -np.sin(theta)], [np.sin(theta), np.cos(theta)]]
+        )
+        config = reference @ rotation.T + np.array([5.0, -3.0])
+        aligned, _, _ = procrustes_align(reference, config)
+        np.testing.assert_allclose(aligned, reference, atol=1e-9)
+
+    def test_undoes_reflection(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=(7, 2))
+        config = reference * np.array([1.0, -1.0])  # mirror over x-axis
+        aligned, _, _ = procrustes_align(reference, config)
+        np.testing.assert_allclose(aligned, reference, atol=1e-9)
+
+    def test_no_scaling_by_default(self):
+        rng = np.random.default_rng(3)
+        reference = rng.normal(size=(6, 2))
+        config = reference * 3.0
+        aligned, _, _ = procrustes_align(reference, config)
+        # Without scaling the size mismatch must remain.
+        ref_spread = np.linalg.norm(reference - reference.mean(axis=0))
+        aligned_spread = np.linalg.norm(aligned - aligned.mean(axis=0))
+        assert aligned_spread == pytest.approx(3.0 * ref_spread, rel=1e-6)
+
+    def test_scaling_when_allowed(self):
+        rng = np.random.default_rng(4)
+        reference = rng.normal(size=(6, 2))
+        config = reference * 3.0
+        aligned, _, _ = procrustes_align(reference, config, allow_scaling=True)
+        np.testing.assert_allclose(aligned, reference, atol=1e-9)
+
+    def test_returns_usable_transform(self):
+        rng = np.random.default_rng(5)
+        reference = rng.normal(size=(5, 2))
+        config = rng.normal(size=(5, 2))
+        aligned, rotation, translation = procrustes_align(reference, config)
+        np.testing.assert_allclose(config @ rotation + translation, aligned, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            procrustes_align(np.zeros((3, 2)), np.zeros((4, 2)))

@@ -1,0 +1,104 @@
+"""Unit tests for IPC-based violation detection."""
+
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.monitoring.ipc import IpcViolationDetector
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+class TestObserveIpc:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IpcViolationDetector("c", threshold_fraction=0.0)
+        with pytest.raises(ValueError):
+            IpcViolationDetector("c", baseline_quantile_decay=1.5)
+
+    def test_first_reading_sets_baseline(self):
+        detector = IpcViolationDetector("c")
+        report = detector.observe_ipc(0, 1.0)
+        assert detector.baseline_ipc == 1.0
+        assert report.value == pytest.approx(1.0)
+        assert not report.violated
+
+    def test_dip_below_fraction_is_violation(self):
+        detector = IpcViolationDetector("c", threshold_fraction=0.9)
+        detector.observe_ipc(0, 1.0)
+        report = detector.observe_ipc(1, 0.5)
+        assert report.violated
+        assert detector.violation_now
+        assert detector.violation_count == 1
+
+    def test_baseline_tracks_maximum(self):
+        detector = IpcViolationDetector("c")
+        detector.observe_ipc(0, 0.5)
+        detector.observe_ipc(1, 1.0)
+        assert detector.baseline_ipc == pytest.approx(1.0)
+
+    def test_baseline_decays_slowly(self):
+        detector = IpcViolationDetector("c", baseline_quantile_decay=0.9)
+        detector.observe_ipc(0, 1.0)
+        for tick in range(1, 10):
+            detector.observe_ipc(tick, 0.5)
+        assert detector.baseline_ipc < 1.0
+        assert detector.baseline_ipc >= 0.5
+
+    def test_violation_ratio(self):
+        detector = IpcViolationDetector("c", threshold_fraction=0.9)
+        detector.observe_ipc(0, 1.0)
+        detector.observe_ipc(1, 0.5)
+        detector.observe_ipc(2, 1.0)
+        assert detector.violation_ratio() == pytest.approx(1 / 3)
+        assert IpcViolationDetector("x").violation_ratio() == 0.0
+
+
+class TestHostIntegration:
+    def contended_host(self):
+        host = Host()
+        sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0))
+        bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0))
+        host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+        host.add_container(Container(name="bomb", app=bomb, start_tick=5))
+        return host
+
+    def test_detects_contention_without_app_cooperation(self):
+        host = self.contended_host()
+        detector = IpcViolationDetector("sens", threshold_fraction=0.9)
+        SimulationEngine(host, [detector]).run(ticks=20)
+        # Isolated phase sets baseline IPC=1; the bomb drops it to 4/7.
+        assert detector.violation_count > 0
+        # Baseline started at 1.0 and only the slow decay nudged it.
+        assert detector.baseline_ipc == pytest.approx(1.0, abs=0.02)
+
+    def test_idle_container_produces_no_samples(self):
+        host = Host()
+        app = SensitiveStub()
+        host.add_container(
+            Container(name="sens", app=app, sensitive=True, start_tick=100)
+        )
+        detector = IpcViolationDetector("sens")
+        SimulationEngine(host, [detector]).run(ticks=10)
+        assert len(detector.qos_series) == 0
+
+    def test_plugs_into_stayaway_controller(self):
+        """The §3.1 alternative channel drives the full mechanism."""
+        host = self.contended_host()
+        sensitive = host.container("sens").app
+        detector = IpcViolationDetector("sens", threshold_fraction=0.9)
+        controller = StayAway(
+            sensitive,
+            config=StayAwayConfig(seed=9),
+            violation_detector=detector,
+        )
+        SimulationEngine(host, [controller]).run(ticks=100)
+        assert controller.qos is detector
+        assert controller.throttle.throttle_count >= 1
+        assert controller.state_space.violation_indices.size >= 1
+        # QoS (by the IPC definition) is protected after learning.
+        assert detector.violation_ratio() < 0.3

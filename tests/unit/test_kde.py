@@ -1,0 +1,67 @@
+"""Unit tests for the Gaussian KDE."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.kde import gaussian_kde, silverman_bandwidth
+
+
+class TestSilvermanBandwidth:
+    def test_single_sample_fallback(self):
+        assert silverman_bandwidth(np.array([1.0])) == 1.0
+
+    def test_constant_samples_fallback(self):
+        assert silverman_bandwidth(np.full(10, 3.0)) == 1.0
+
+    def test_scales_with_spread(self):
+        rng = np.random.default_rng(0)
+        narrow = silverman_bandwidth(rng.normal(0, 1, 200))
+        wide = silverman_bandwidth(rng.normal(0, 10, 200))
+        assert wide > narrow
+
+    def test_shrinks_with_sample_count(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(0, 1, 1000)
+        few = silverman_bandwidth(data[:50])
+        many = silverman_bandwidth(data)
+        assert many < few
+
+
+class TestGaussianKde:
+    def test_empty_samples(self):
+        grid = np.linspace(0, 1, 10)
+        np.testing.assert_allclose(gaussian_kde(np.empty(0), grid), 0.0)
+
+    def test_integrates_to_one(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(0, 1, 300)
+        grid = np.linspace(-6, 6, 600)
+        density = gaussian_kde(samples, grid)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_near_data_mode(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(4.0, 0.5, 500)
+        grid = np.linspace(0, 8, 400)
+        density = gaussian_kde(samples, grid)
+        assert grid[np.argmax(density)] == pytest.approx(4.0, abs=0.3)
+
+    def test_bimodal_structure_preserved(self):
+        rng = np.random.default_rng(4)
+        samples = np.concatenate(
+            [rng.normal(-3, 0.3, 300), rng.normal(3, 0.3, 300)]
+        )
+        grid = np.linspace(-5, 5, 500)
+        density = gaussian_kde(samples, grid, bandwidth=0.3)
+        middle = density[np.abs(grid) < 0.5].max()
+        peaks = density[np.abs(np.abs(grid) - 3.0) < 0.5].max()
+        assert peaks > 5 * middle
+
+    def test_explicit_bandwidth_smooths(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(0, 1, 100)
+        grid = np.linspace(-4, 4, 200)
+        rough = gaussian_kde(samples, grid, bandwidth=0.05)
+        smooth = gaussian_kde(samples, grid, bandwidth=1.0)
+        assert np.std(np.diff(smooth)) < np.std(np.diff(rough))

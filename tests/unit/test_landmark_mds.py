@@ -1,0 +1,80 @@
+"""Unit tests for landmark MDS."""
+
+import numpy as np
+import pytest
+
+from repro.mds.distances import pairwise_distances, point_distances
+from repro.mds.landmark import landmark_mds, landmark_mds_fit, select_landmarks
+
+
+class TestSelectLandmarks:
+    def test_count(self):
+        points = np.random.default_rng(0).normal(size=(30, 3))
+        indices = select_landmarks(points, 5)
+        assert indices.shape == (5,)
+        assert len(set(indices.tolist())) == 5
+
+    def test_k_at_least_n_returns_all(self):
+        points = np.random.default_rng(1).normal(size=(4, 2))
+        np.testing.assert_array_equal(select_landmarks(points, 10), np.arange(4))
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            select_landmarks(np.zeros((5, 2)), 0)
+
+    def test_maxmin_spreads_landmarks(self):
+        # Two well-separated clusters: 2 landmarks must hit both.
+        rng = np.random.default_rng(2)
+        cluster_a = rng.normal(0.0, 0.1, size=(20, 2))
+        cluster_b = rng.normal(10.0, 0.1, size=(20, 2))
+        points = np.vstack([cluster_a, cluster_b])
+        indices = select_landmarks(points, 2, seed=0)
+        sides = {int(index >= 20) for index in indices}
+        assert sides == {0, 1}
+
+
+class TestLandmarkMds:
+    def test_landmarks_map_onto_themselves(self):
+        rng = np.random.default_rng(3)
+        landmarks = rng.normal(size=(6, 2))
+        landmark_distances = pairwise_distances(landmarks)
+        deltas = landmark_distances  # landmarks as the points to embed
+        coords_landmarks, coords_points = landmark_mds(landmark_distances, deltas)
+        recovered = pairwise_distances(coords_points)
+        np.testing.assert_allclose(recovered, landmark_distances, atol=1e-6)
+
+    def test_planar_cloud_embedded_faithfully(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(60, 2))
+        coords = landmark_mds_fit(points, k=8, seed=1)
+        original = pairwise_distances(points)
+        embedded = pairwise_distances(coords)
+        triu = np.triu_indices(60, k=1)
+        correlation = np.corrcoef(original[triu], embedded[triu])[0, 1]
+        assert correlation > 0.99
+
+    def test_high_dim_cloud_reasonable(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(80, 6))
+        coords = landmark_mds_fit(points, k=12, seed=2)
+        assert coords.shape == (80, 2)
+        original = pairwise_distances(points)
+        embedded = pairwise_distances(coords)
+        triu = np.triu_indices(80, k=1)
+        correlation = np.corrcoef(original[triu], embedded[triu])[0, 1]
+        assert correlation > 0.6
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            landmark_mds(np.zeros((3, 4)), np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            landmark_mds(np.zeros((3, 3)), np.zeros((5, 4)))
+
+    def test_cheaper_than_full_mds_scaling(self):
+        """The point of landmark MDS: deltas matrix is (n, k), not (n, n)."""
+        rng = np.random.default_rng(6)
+        points = rng.normal(size=(200, 4))
+        indices = select_landmarks(points, 10, seed=0)
+        landmarks = points[indices]
+        deltas = np.stack([point_distances(p, landmarks) for p in points])
+        assert deltas.shape == (200, 10)  # vs (200, 200) for full MDS

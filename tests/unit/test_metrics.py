@@ -1,0 +1,53 @@
+"""Unit tests for measurement vectors and metric labels."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.metrics import VM_METRICS, MeasurementVector, metric_labels
+from repro.sim.resources import Resource
+
+
+class TestMetricLabels:
+    def test_five_metrics_per_vm(self):
+        labels = metric_labels(["vm1", "vm2"])
+        assert len(labels) == 10
+        assert labels[0] == "vm1:cpu"
+        assert labels[5] == "vm2:cpu"
+
+    def test_vm_metric_order(self):
+        assert VM_METRICS[0] is Resource.CPU
+        assert Resource.MEMORY in VM_METRICS
+        assert len(VM_METRICS) == 5
+
+    def test_empty(self):
+        assert metric_labels([]) == []
+
+
+class TestMeasurementVector:
+    def make(self):
+        labels = tuple(metric_labels(["vm"]))
+        return MeasurementVector(
+            tick=3, labels=labels, values=np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        )
+
+    def test_dimension(self):
+        assert self.make().dimension == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementVector(tick=0, labels=("a",), values=np.array([1.0, 2.0]))
+
+    def test_value_of(self):
+        vector = self.make()
+        assert vector.value_of("vm:cpu") == 1.0
+        assert vector.value_of("vm:network") == 5.0
+
+    def test_value_of_unknown_label(self):
+        with pytest.raises(KeyError):
+            self.make().value_of("nope:cpu")
+
+    def test_as_array_is_copy(self):
+        vector = self.make()
+        array = vector.as_array()
+        array[0] = 99.0
+        assert vector.values[0] == 1.0

@@ -1,0 +1,111 @@
+"""Unit tests for the reference movement models."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.features import step_angles, step_lengths
+from repro.trajectory.models import (
+    BiasedRandomWalk,
+    CorrelatedRandomWalk,
+    LevyFlight,
+)
+
+
+class TestGenerate:
+    def test_track_shape_and_origin(self, rng):
+        track = BiasedRandomWalk().generate(20, rng)
+        assert track.shape == (20, 2)
+        np.testing.assert_allclose(track[0], 0.0)
+
+    def test_custom_origin(self, rng):
+        origin = np.array([5.0, -2.0])
+        track = LevyFlight().generate(5, rng, origin=origin)
+        np.testing.assert_allclose(track[0], origin)
+
+    def test_n_validated(self, rng):
+        with pytest.raises(ValueError):
+            BiasedRandomWalk().generate(0, rng)
+
+
+class TestBiasedRandomWalk:
+    def test_bias_direction_dominates(self, rng):
+        walk = BiasedRandomWalk(bias_angle=0.0, concentration=8.0)
+        track = walk.generate(500, rng)
+        # Strong eastward bias -> net displacement along +x.
+        assert track[-1, 0] > 10 * abs(track[-1, 1]) or track[-1, 0] > 1.0
+
+    def test_angles_concentrate_around_bias(self, rng):
+        walk = BiasedRandomWalk(bias_angle=np.pi / 2, concentration=6.0)
+        track = walk.generate(400, rng)
+        angles = step_angles(track)
+        # Circular mean near pi/2.
+        mean_angle = np.arctan2(np.sin(angles).mean(), np.cos(angles).mean())
+        assert mean_angle == pytest.approx(np.pi / 2, abs=0.15)
+
+    def test_zero_concentration_is_unbiased(self, rng):
+        walk = BiasedRandomWalk(concentration=0.0, step_mean=1.0)
+        track = walk.generate(2000, rng)
+        angles = step_angles(track)
+        resultant = np.hypot(np.cos(angles).mean(), np.sin(angles).mean())
+        assert resultant < 0.1
+
+    def test_step_lengths_near_mean(self, rng):
+        walk = BiasedRandomWalk(step_mean=0.05, step_std=0.005)
+        track = walk.generate(300, rng)
+        assert step_lengths(track).mean() == pytest.approx(0.05, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BiasedRandomWalk(concentration=-1.0)
+        with pytest.raises(ValueError):
+            BiasedRandomWalk(step_mean=0.0)
+
+
+class TestCorrelatedRandomWalk:
+    def test_direction_persistence(self, rng):
+        walk = CorrelatedRandomWalk(turn_std=0.1, step_mean=0.1)
+        track = walk.generate(200, rng)
+        angles = step_angles(track)
+        turns = np.diff(angles)
+        turns = np.mod(turns + np.pi, 2 * np.pi) - np.pi
+        assert np.abs(turns).mean() < 0.3  # small turns only
+
+    def test_high_turn_std_decorrelates(self, rng):
+        smooth = CorrelatedRandomWalk(turn_std=0.05)
+        chaotic = CorrelatedRandomWalk(turn_std=3.0)
+        smooth_track = smooth.generate(300, np.random.default_rng(0))
+        chaotic_track = chaotic.generate(300, np.random.default_rng(0))
+        # Persistence => greater net displacement for equal step budget.
+        assert np.linalg.norm(smooth_track[-1]) > np.linalg.norm(chaotic_track[-1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedRandomWalk(step_mean=-0.1)
+
+
+class TestLevyFlight:
+    def test_heavy_tail_has_rare_long_jumps(self, rng):
+        flight = LevyFlight(alpha=1.2, scale=0.01, truncate=10.0)
+        track = flight.generate(2000, rng)
+        lengths = step_lengths(track)
+        # Median jump small, max jump orders of magnitude larger.
+        assert np.median(lengths) < 0.05
+        assert lengths.max() > 20 * np.median(lengths)
+
+    def test_truncation_respected(self, rng):
+        flight = LevyFlight(alpha=0.8, scale=0.01, truncate=0.5)
+        track = flight.generate(1000, rng)
+        assert step_lengths(track).max() <= 0.5 + 1e-9
+
+    def test_minimum_step_is_scale(self, rng):
+        flight = LevyFlight(alpha=2.0, scale=0.02, truncate=5.0)
+        track = flight.generate(500, rng)
+        assert step_lengths(track).min() >= 0.02 - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LevyFlight(alpha=0.0)
+        with pytest.raises(ValueError):
+            LevyFlight(scale=0.0)
+        with pytest.raises(ValueError):
+            LevyFlight(scale=1.0, truncate=0.5)

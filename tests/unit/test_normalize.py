@@ -1,0 +1,95 @@
+"""Unit tests for metric normalization."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.normalize import CapacityNormalizer, RunningMinMax
+from repro.sim.resources import ResourceVector, default_host_capacity
+
+
+class TestCapacityNormalizer:
+    def test_dimension(self):
+        normalizer = CapacityNormalizer(default_host_capacity(), vm_count=2)
+        assert normalizer.dimension == 10
+
+    def test_vm_count_validated(self):
+        with pytest.raises(ValueError):
+            CapacityNormalizer(default_host_capacity(), vm_count=0)
+
+    def test_zero_capacity_rejected(self):
+        capacity = ResourceVector(cpu=4.0)  # others zero
+        with pytest.raises(ValueError):
+            CapacityNormalizer(capacity, vm_count=1)
+
+    def test_full_capacity_maps_to_one(self):
+        capacity = default_host_capacity()
+        normalizer = CapacityNormalizer(capacity, vm_count=1)
+        values = np.array([capacity.cpu, capacity.memory, capacity.memory_bw,
+                           capacity.disk_io, capacity.network])
+        np.testing.assert_allclose(normalizer.normalize(values), np.ones(5))
+
+    def test_zero_maps_to_zero(self):
+        normalizer = CapacityNormalizer(default_host_capacity(), vm_count=1)
+        np.testing.assert_allclose(normalizer.normalize(np.zeros(5)), np.zeros(5))
+
+    def test_clipping_above_capacity(self):
+        capacity = default_host_capacity()
+        normalizer = CapacityNormalizer(capacity, vm_count=1)
+        values = np.full(5, 1e9)
+        assert normalizer.normalize(values).max() == 1.0
+
+    def test_wrong_dimension_rejected(self):
+        normalizer = CapacityNormalizer(default_host_capacity(), vm_count=1)
+        with pytest.raises(ValueError):
+            normalizer.normalize(np.zeros(7))
+
+    def test_per_vm_blocks_scaled_identically(self):
+        capacity = default_host_capacity()
+        normalizer = CapacityNormalizer(capacity, vm_count=2)
+        values = np.array([2.0, 4096.0, 5000.0, 75.0, 500.0] * 2)
+        out = normalizer.normalize(values)
+        np.testing.assert_allclose(out[:5], out[5:])
+        np.testing.assert_allclose(out[:5], np.full(5, 0.5))
+
+
+class TestRunningMinMax:
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            RunningMinMax(0)
+
+    def test_first_sample_maps_into_unit_box(self):
+        norm = RunningMinMax(3)
+        out = norm.normalize(np.array([5.0, -2.0, 0.0]))
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_range_widens_monotonically(self):
+        norm = RunningMinMax(1)
+        norm.normalize(np.array([0.0]))
+        norm.normalize(np.array([10.0]))
+        assert norm.observed_min[0] == 0.0
+        assert norm.observed_max[0] == 10.0
+        norm.normalize(np.array([5.0]))
+        assert norm.observed_max[0] == 10.0  # unchanged by interior point
+
+    def test_linear_rescaling(self):
+        norm = RunningMinMax(1)
+        norm.observe(np.array([0.0]))
+        norm.observe(np.array([10.0]))
+        assert norm.normalize(np.array([2.5]))[0] == pytest.approx(0.25)
+
+    def test_old_values_remain_valid(self):
+        norm = RunningMinMax(1)
+        first = norm.normalize(np.array([5.0]))[0]
+        norm.normalize(np.array([100.0]))
+        again = norm.normalize(np.array([5.0]))[0]
+        assert 0.0 <= again <= 1.0
+        assert again <= first + 1e-12  # can only move toward the interior
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RunningMinMax(2).observe(np.array([1.0]))
+
+    def test_initial_bounds(self):
+        norm = RunningMinMax(2, initial_min=[0.0, 0.0], initial_max=[10.0, 100.0])
+        out = norm.normalize(np.array([5.0, 50.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])

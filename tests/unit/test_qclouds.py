@@ -1,0 +1,101 @@
+"""Unit tests for the Q-Clouds-style baseline."""
+
+import pytest
+
+from repro.baselines.qclouds import QCloudsLike
+from repro.sim.container import Container
+from repro.sim.contention import WeightedWaterFillModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def build_host(sensitive_cpu=3.0, bomb_cpu=4.0, memory=0.0):
+    host = Host(contention=WeightedWaterFillModel())
+    sensitive = SensitiveStub(
+        demand_vector=ResourceVector(cpu=sensitive_cpu, memory=memory)
+    )
+    bomb = ConstantApp(
+        name="bomb", demand_vector=ResourceVector(cpu=bomb_cpu, memory=memory)
+    )
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb))
+    return host, sensitive
+
+
+class TestValidation:
+    def test_parameters_validated(self):
+        app = SensitiveStub()
+        with pytest.raises(ValueError):
+            QCloudsLike(app, boost_factor=1.0)
+        with pytest.raises(ValueError):
+            QCloudsLike(app, decay_factor=1.0)
+        with pytest.raises(ValueError):
+            QCloudsLike(app, max_weight=0.5)
+
+
+class TestBoosting:
+    def test_boosts_on_violation_and_restores_qos(self):
+        host, sensitive = build_host()
+        baseline = QCloudsLike(sensitive)
+        engine = SimulationEngine(host, [baseline])
+        engine.run(ticks=20)
+        assert baseline.boosts >= 1
+        assert host.container("sens").weight > 1.0
+        # The boost settles QoS at/above the threshold (inside the
+        # hysteresis band between boost and decay triggers).
+        report = sensitive.qos_report()
+        assert report.value >= report.threshold
+
+    def test_batch_keeps_running(self):
+        host, sensitive = build_host()
+        baseline = QCloudsLike(sensitive)
+        SimulationEngine(host, [baseline]).run(ticks=20)
+        assert host.container("bomb").is_running
+        assert host.container("bomb").app.work_done > 0
+
+    def test_weight_capped(self):
+        host, sensitive = build_host()
+        baseline = QCloudsLike(sensitive, max_weight=4.0)
+        SimulationEngine(host, [baseline]).run(ticks=50)
+        assert host.container("sens").weight <= 4.0
+
+    def test_decay_when_comfortable(self):
+        host, sensitive = build_host(sensitive_cpu=1.0, bomb_cpu=1.0)
+        baseline = QCloudsLike(sensitive)
+        host.container("sens").set_weight(8.0)
+        SimulationEngine(host, [baseline]).run(ticks=30)
+        assert baseline.decays >= 1
+        assert host.container("sens").weight < 8.0
+
+    def test_cannot_fix_memory_pressure(self):
+        host, sensitive = build_host(
+            sensitive_cpu=1.0, bomb_cpu=0.5, memory=5000.0
+        )
+        baseline = QCloudsLike(sensitive)
+        SimulationEngine(host, [baseline]).run(ticks=40)
+        # Weights maxed out, QoS still violated: no headroom to give.
+        assert baseline.qos.violation_now
+        assert baseline.qos.violation_ratio() > 0.8
+
+    def test_no_sensitive_container_is_harmless(self):
+        host = Host(contention=WeightedWaterFillModel())
+        host.add_container(Container(name="b", app=ConstantApp()))
+        baseline = QCloudsLike(SensitiveStub())
+        SimulationEngine(host, [baseline]).run(ticks=5)  # must not raise
+        assert baseline.boosts == 0
+
+
+class TestRunnerIntegration:
+    def test_qclouds_policy(self):
+        from repro.experiments.runner import run_scenario
+        from repro.experiments.scenarios import Scenario
+
+        scenario = Scenario(
+            sensitive="vlc-streaming", batches=("cpubomb",), ticks=60
+        )
+        result = run_scenario(scenario, policy="qclouds")
+        assert result.qclouds is not None
+        assert isinstance(result.built.host.contention, WeightedWaterFillModel)

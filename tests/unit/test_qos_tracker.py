@@ -1,0 +1,52 @@
+"""Unit tests for the QoS tracker."""
+
+import pytest
+
+from repro.monitoring.qos import QosTracker
+from repro.sim.container import Container
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+class TestQosTracker:
+    def test_rejects_batch_apps(self):
+        with pytest.raises(ValueError):
+            QosTracker(ConstantApp())
+
+    def test_tracks_reports(self):
+        host = Host()
+        app = SensitiveStub(demand_vector=ResourceVector(cpu=1.0))
+        host.add_container(Container(name="s", app=app, sensitive=True))
+        tracker = QosTracker(app)
+        for _ in range(3):
+            tracker.on_tick(host.step(), host)
+        assert len(tracker.qos_series) == 3
+        assert tracker.violation_count == 0
+        assert not tracker.violation_now
+
+    def test_detects_violations_under_contention(self):
+        host = Host()
+        app = SensitiveStub(demand_vector=ResourceVector(cpu=3.0))
+        bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0))
+        host.add_container(Container(name="s", app=app, sensitive=True))
+        host.add_container(Container(name="bomb", app=bomb))
+        tracker = QosTracker(app)
+        for _ in range(5):
+            tracker.on_tick(host.step(), host)
+        assert tracker.violation_now
+        assert tracker.violation_count == 5
+        assert tracker.violation_ratio() == pytest.approx(1.0)
+
+    def test_no_report_before_first_advance(self):
+        host = Host()
+        app = SensitiveStub()
+        host.add_container(
+            Container(name="s", app=app, sensitive=True, start_tick=100)
+        )
+        tracker = QosTracker(app)
+        tracker.on_tick(host.step(), host)
+        assert tracker.last_report is None
+        assert len(tracker.qos_series) == 0
+        assert tracker.violation_ratio() == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the run recorder."""
+
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.experiments.recorder import RunRecorder, TickRecord
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def recorded_run(with_controller=True, ticks=30):
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0))
+    bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0))
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb, start_tick=3))
+    middlewares = []
+    controller = None
+    if with_controller:
+        controller = StayAway(sensitive, config=StayAwayConfig(seed=8))
+        middlewares.append(controller)
+    recorder = RunRecorder(controller=controller)
+    middlewares.append(recorder)
+    SimulationEngine(host, middlewares).run(ticks=ticks)
+    return recorder
+
+
+class TestRecording:
+    def test_one_record_per_tick(self):
+        recorder = recorded_run(ticks=25)
+        assert len(recorder.records) == 25
+        assert recorder.records[0].tick == 0
+        assert recorder.records[-1].tick == 24
+
+    def test_usage_and_states_captured(self):
+        recorder = recorded_run(ticks=10)
+        record = recorder.records[5]
+        assert "sens" in record.usage
+        assert record.usage["sens"]["cpu"] > 0
+        assert record.states["sens"] == "running"
+
+    def test_controller_fields_populated(self):
+        recorder = recorded_run(ticks=30)
+        qos_values = recorder.qos_values()
+        assert len(qos_values) > 0
+        assert any(r.violated for r in recorder.records)
+        assert recorder.throttled_ticks()  # controller throttled the bomb
+        coords_records = [r for r in recorder.records if r.mapped_coords]
+        assert coords_records
+
+    def test_without_controller(self):
+        recorder = recorded_run(with_controller=False, ticks=10)
+        assert all(r.qos is None for r in recorder.records)
+        assert recorder.qos_values() == []
+        assert recorder.throttled_ticks() == []
+
+
+class TestPersistence:
+    def test_jsonl_roundtrip(self, tmp_path):
+        recorder = recorded_run(ticks=15)
+        path = recorder.save_jsonl(tmp_path / "run.jsonl")
+        loaded = RunRecorder.load_jsonl(path)
+        assert len(loaded) == 15
+        assert loaded[3].tick == recorder.records[3].tick
+        assert loaded[3].usage == recorder.records[3].usage
+        assert loaded[3].qos == recorder.records[3].qos
+
+    def test_record_dict_roundtrip(self):
+        record = TickRecord(
+            tick=7,
+            usage={"a": {"cpu": 1.0}},
+            states={"a": "running"},
+            swap_ratio=1.0,
+            qos=0.9,
+            violated=False,
+            throttling=True,
+            mapped_coords=[0.1, -0.2],
+        )
+        assert TickRecord.from_dict(record.to_dict()) == record

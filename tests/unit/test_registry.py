@@ -1,0 +1,61 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.workloads.base import Application
+from repro.workloads.registry import (
+    BATCH_WORKLOADS,
+    SENSITIVE_WORKLOADS,
+    available_workloads,
+    make_workload,
+)
+from repro.workloads.traces import WorkloadTrace
+
+
+class TestRegistry:
+    def test_all_names_listed(self):
+        names = available_workloads()
+        assert "vlc-streaming" in names
+        assert "cpubomb" in names
+        assert "twitter-analysis" in names
+        assert len(names) == 9
+
+    def test_partition_covers_registry(self):
+        assert sorted(BATCH_WORKLOADS + SENSITIVE_WORKLOADS) == available_workloads()
+
+    def test_unknown_name_raises_keyerror(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_workload("does-not-exist")
+
+    def test_each_factory_builds_an_application(self):
+        for name in available_workloads():
+            app = make_workload(name)
+            assert isinstance(app, Application)
+
+    def test_sensitive_flags_match_partition(self):
+        for name in SENSITIVE_WORKLOADS:
+            assert make_workload(name).is_sensitive, name
+        for name in BATCH_WORKLOADS:
+            assert not make_workload(name).is_sensitive, name
+
+    def test_fresh_instance_per_call(self):
+        a = make_workload("soplex")
+        b = make_workload("soplex")
+        assert a is not b
+
+    def test_seed_override(self):
+        app = make_workload("cpubomb", seed=99)
+        reference = make_workload("cpubomb", seed=99)
+        clock_demand_a = app.rng.normal()
+        clock_demand_b = reference.rng.normal()
+        assert clock_demand_a == clock_demand_b
+
+    def test_trace_passed_to_sensitive_workloads(self):
+        trace = WorkloadTrace.constant(0.3)
+        app = make_workload("vlc-streaming", trace=trace)
+        assert app.trace is trace
+
+    def test_kwargs_forwarded(self):
+        app = make_workload("cpubomb", threads=2.0)
+        assert app.demand.__self__ is app  # sanity
+        assert make_workload("soplex", total_work=10.0).total_work == 10.0

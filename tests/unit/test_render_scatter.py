@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII scatter renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reports import render_scatter
+
+
+class TestRenderScatter:
+    def test_shape(self):
+        rows = render_scatter(np.zeros((1, 2)), ["x"], width=20, height=5)
+        assert len(rows) == 5
+        assert all(len(row) == 20 for row in rows)
+
+    def test_empty(self):
+        rows = render_scatter(np.empty((0, 2)), [], width=10, height=3)
+        assert all(row == " " * 10 for row in rows)
+
+    def test_corners(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        rows = render_scatter(points, ["a", "b"], width=10, height=4)
+        assert rows[0][9] == "b"   # max y -> top row, max x -> right
+        assert rows[3][0] == "a"   # min y -> bottom row, min x -> left
+
+    def test_later_points_overwrite(self):
+        points = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0]])
+        rows = render_scatter(points, ["a", "b", "c"], width=5, height=5)
+        assert rows[4][0] == "b"
+
+    def test_marker_count_validated(self):
+        with pytest.raises(ValueError):
+            render_scatter(np.zeros((2, 2)), ["x"])
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            render_scatter(np.zeros((2, 3)), ["a", "b"])
+
+    def test_degenerate_extent(self):
+        points = np.array([[5.0, 5.0], [5.0, 5.0]])
+        rows = render_scatter(points, ["a", "b"], width=8, height=3)
+        filled = sum(ch != " " for row in rows for ch in row)
+        assert filled == 1  # both land in one cell
+
+    def test_multichar_marker_truncated(self):
+        rows = render_scatter(np.zeros((1, 2)), ["xyz"], width=3, height=3)
+        flat = "".join(rows)
+        assert "x" in flat and "y" not in flat

@@ -1,0 +1,104 @@
+"""Unit tests for the constrained scheduler."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.resources import ResourceVector
+from repro.sim.scheduler import (
+    ConstrainedScheduler,
+    PlacementRequest,
+    SchedulingError,
+)
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def sensitive_request(name, cpu=2.0, priority=None):
+    return PlacementRequest(
+        app=SensitiveStub(name=name, demand_vector=ResourceVector(cpu=cpu)),
+        sensitive=True,
+        priority=priority,
+    )
+
+
+def batch_request(name, cpu=1.0):
+    return PlacementRequest(
+        app=ConstantApp(name=name, demand_vector=ResourceVector(cpu=cpu)),
+        sensitive=False,
+    )
+
+
+class TestConstraints:
+    def make(self, hosts=2):
+        cluster = Cluster(host_names=[f"h{i}" for i in range(hosts)])
+        return cluster, ConstrainedScheduler(cluster)
+
+    def test_headroom_validated(self):
+        cluster = Cluster(host_names=["h0"])
+        with pytest.raises(ValueError):
+            ConstrainedScheduler(cluster, cpu_headroom=0.0)
+
+    def test_sensitive_apps_spread_across_hosts(self):
+        cluster, scheduler = self.make()
+        a = scheduler.place(sensitive_request("a"))
+        b = scheduler.place(sensitive_request("b"))
+        assert a.host != b.host
+
+    def test_two_unprioritized_sensitive_cannot_share(self):
+        cluster, scheduler = self.make(hosts=1)
+        scheduler.place(sensitive_request("a"))
+        with pytest.raises(SchedulingError):
+            scheduler.place(sensitive_request("b"))
+
+    def test_prioritized_sensitive_may_share(self):
+        cluster, scheduler = self.make(hosts=1)
+        scheduler.place(sensitive_request("a", cpu=1.0, priority=2))
+        placement = scheduler.place(sensitive_request("b", cpu=1.0, priority=1))
+        assert placement.host == "h0"
+
+    def test_equal_priorities_cannot_share(self):
+        cluster, scheduler = self.make(hosts=1)
+        scheduler.place(sensitive_request("a", cpu=1.0, priority=1))
+        with pytest.raises(SchedulingError):
+            scheduler.place(sensitive_request("b", cpu=1.0, priority=1))
+
+    def test_batch_lands_on_least_loaded(self):
+        cluster, scheduler = self.make()
+        scheduler.place(sensitive_request("svc", cpu=3.0))  # loads one host
+        placement = scheduler.place(batch_request("job", cpu=1.0))
+        # The batch job should land on the other, emptier host.
+        svc_host = scheduler.placements[0].host
+        assert placement.host != svc_host
+
+    def test_cpu_headroom_enforced(self):
+        cluster = Cluster(host_names=["h0"])
+        scheduler = ConstrainedScheduler(cluster, cpu_headroom=1.0)
+        scheduler.place(batch_request("a", cpu=3.0))
+        with pytest.raises(SchedulingError):
+            scheduler.place(batch_request("b", cpu=2.0))
+
+    def test_place_all_orders_sensitive_first(self):
+        cluster, scheduler = self.make()
+        placements = scheduler.place_all(
+            [batch_request("job"), sensitive_request("svc")]
+        )
+        assert placements[0].sensitive
+        assert placements[1].container == "job"
+
+    def test_containers_actually_admitted(self):
+        cluster, scheduler = self.make()
+        scheduler.place(sensitive_request("svc"))
+        host = cluster.host(scheduler.placements[0].host)
+        assert "svc" in host.containers
+        cluster.step()
+        assert host.container("svc").is_running
+
+    def test_estimated_demand_override(self):
+        cluster = Cluster(host_names=["h0"])
+        scheduler = ConstrainedScheduler(cluster, cpu_headroom=1.0)
+        request = PlacementRequest(
+            app=ConstantApp(name="big", demand_vector=ResourceVector(cpu=0.1)),
+            estimated_demand=ResourceVector(cpu=10.0),
+        )
+        with pytest.raises(SchedulingError):
+            scheduler.place(request)

@@ -1,0 +1,79 @@
+"""Unit tests for the SMACOF stress-majorization algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.mds.classical import classical_mds
+from repro.mds.distances import pairwise_distances
+from repro.mds.smacof import smacof
+from repro.mds.stress import normalized_stress, raw_stress
+
+
+class TestSmacof:
+    def test_planar_config_reaches_near_zero_stress(self):
+        rng = np.random.default_rng(0)
+        original = rng.normal(size=(15, 2))
+        target = pairwise_distances(original)
+        result = smacof(target, n_components=2)
+        assert result.stress < 1e-6
+        assert normalized_stress(result.embedding, target) < 1e-3
+
+    def test_improves_on_classical_init_for_nonplanar_data(self):
+        rng = np.random.default_rng(1)
+        original = rng.normal(size=(20, 6))
+        target = pairwise_distances(original)
+        init = classical_mds(target, 2)
+        initial_stress = raw_stress(init, target)
+        result = smacof(target, n_components=2)
+        assert result.stress <= initial_stress + 1e-12
+
+    def test_stress_non_increasing_across_iterations(self):
+        rng = np.random.default_rng(2)
+        target = pairwise_distances(rng.normal(size=(12, 5)))
+        stresses = []
+        embedding = classical_mds(target, 2)
+        for _ in range(10):
+            result = smacof(target, init=embedding, max_iter=1, tol=0.0)
+            stresses.append(result.stress)
+            embedding = result.embedding
+        assert all(b <= a + 1e-9 for a, b in zip(stresses, stresses[1:]))
+
+    def test_respects_custom_init(self):
+        rng = np.random.default_rng(3)
+        target = pairwise_distances(rng.normal(size=(8, 2)))
+        init = rng.normal(size=(8, 2))
+        result = smacof(target, init=init, max_iter=0)
+        np.testing.assert_allclose(result.embedding, init)
+
+    def test_init_shape_validated(self):
+        target = pairwise_distances(np.random.default_rng(4).normal(size=(5, 2)))
+        with pytest.raises(ValueError):
+            smacof(target, init=np.zeros((4, 2)))
+
+    def test_trivial_sizes(self):
+        assert smacof(np.zeros((0, 0))).embedding.shape == (0, 2)
+        assert smacof(np.zeros((1, 1))).embedding.shape == (1, 2)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            smacof(np.zeros((3, 4)))
+
+    def test_convergence_flag(self):
+        rng = np.random.default_rng(5)
+        target = pairwise_distances(rng.normal(size=(10, 2)))
+        result = smacof(target, max_iter=300, tol=1e-6)
+        assert result.converged
+        assert result.iterations <= 300
+
+    def test_reported_stress_matches_embedding(self):
+        rng = np.random.default_rng(6)
+        target = pairwise_distances(rng.normal(size=(9, 4)))
+        result = smacof(target)
+        assert result.stress == pytest.approx(
+            raw_stress(result.embedding, target), rel=1e-9
+        )
+
+    def test_identical_points_degenerate_target(self):
+        target = np.zeros((4, 4))
+        result = smacof(target)
+        assert result.stress == pytest.approx(0.0, abs=1e-12)

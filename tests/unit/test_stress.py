@@ -1,0 +1,49 @@
+"""Unit tests for stress diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.mds.distances import pairwise_distances
+from repro.mds.stress import normalized_stress, raw_stress
+
+
+class TestRawStress:
+    def test_zero_for_perfect_embedding(self):
+        points = np.random.default_rng(0).normal(size=(6, 2))
+        target = pairwise_distances(points)
+        assert raw_stress(points, target) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # Two points at distance 1, target distance 3 -> (1-3)^2 = 4.
+        embedding = np.array([[0.0, 0.0], [1.0, 0.0]])
+        target = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert raw_stress(embedding, target) == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            raw_stress(np.zeros((3, 2)), np.zeros((4, 4)))
+
+    def test_positive_for_imperfect_embedding(self):
+        rng = np.random.default_rng(1)
+        target = pairwise_distances(rng.normal(size=(5, 4)))
+        embedding = rng.normal(size=(5, 2))
+        assert raw_stress(embedding, target) > 0.0
+
+
+class TestNormalizedStress:
+    def test_zero_for_perfect_embedding(self):
+        points = np.random.default_rng(2).normal(size=(6, 2))
+        target = pairwise_distances(points)
+        assert normalized_stress(points, target) == pytest.approx(0.0, abs=1e-9)
+
+    def test_scale_free(self):
+        rng = np.random.default_rng(3)
+        original = rng.normal(size=(8, 4))
+        target = pairwise_distances(original)
+        embedding = rng.normal(size=(8, 2))
+        small = normalized_stress(embedding, target)
+        big = normalized_stress(embedding * 10.0, target * 10.0)
+        assert big == pytest.approx(small, rel=1e-9)
+
+    def test_degenerate_target(self):
+        assert normalized_stress(np.zeros((3, 2)), np.zeros((3, 3))) == 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for the SVG plotting module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.svg import PALETTE, Plot, SvgCanvas, _nice_ticks
+
+
+class TestSvgCanvas:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+    def test_document_structure(self):
+        canvas = SvgCanvas(100, 50)
+        svg = canvas.to_string()
+        assert svg.startswith("<svg")
+        assert 'width="100"' in svg
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_elements_rendered(self):
+        canvas = SvgCanvas()
+        canvas.line(0, 0, 10, 10, stroke="#123456")
+        canvas.circle(5, 5, 2, fill="#abcdef")
+        canvas.rect(1, 1, 3, 3)
+        canvas.polyline([(0, 0), (1, 1)], stroke="#fff")
+        canvas.text(2, 2, "hello & <world>")
+        svg = canvas.to_string()
+        assert "<line" in svg and "#123456" in svg
+        assert "<circle" in svg and "#abcdef" in svg
+        assert "<rect" in svg
+        assert "<polyline" in svg
+        assert "hello &amp; &lt;world&gt;" in svg  # escaped
+
+    def test_empty_polyline_ignored(self):
+        canvas = SvgCanvas()
+        canvas.polyline([])
+        assert "<polyline" not in canvas.to_string()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas()
+        path = canvas.save(tmp_path / "out.svg")
+        assert path.read_text().startswith("<svg")
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 10.0 + 1e-9
+        assert len(ticks) >= 3
+
+    def test_monotone(self):
+        ticks = _nice_ticks(-3.7, 12.2)
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_small_range(self):
+        ticks = _nice_ticks(0.001, 0.002)
+        assert all(0.0009 <= t <= 0.0021 for t in ticks)
+
+
+class TestPlot:
+    def test_line_plot_renders(self):
+        plot = Plot(title="T", xlabel="X", ylabel="Y")
+        plot.line([0, 1, 2], [0.0, 1.0, 0.5], label="series-a")
+        svg = plot.render()
+        assert "<svg" in svg
+        assert "T" in svg and "X" in svg and "Y" in svg
+        assert "series-a" in svg
+        assert "<polyline" in svg
+
+    def test_scatter_plot_renders_markers(self):
+        plot = Plot()
+        plot.scatter([0, 1], [1, 0])
+        svg = plot.render()
+        assert svg.count("<circle") == 2
+
+    def test_band_renders_polygon(self):
+        plot = Plot()
+        plot.band([0, 1, 2], [0, 0, 0], [1, 2, 1], label="band")
+        assert "<polygon" in plot.render()
+
+    def test_hline_dashed(self):
+        plot = Plot()
+        plot.line([0, 1], [0, 1])
+        plot.hline(0.5, label="thresh")
+        svg = plot.render()
+        assert "stroke-dasharray" in svg
+        assert "thresh" in svg
+
+    def test_colors_stable_across_series(self):
+        plot = Plot()
+        plot.line([0, 1], [0, 1], label="a")
+        plot.scatter([0, 1], [1, 0], label="b")
+        assert plot.series[0].color == PALETTE[0]
+        assert plot.series[1].color == PALETTE[1]
+
+    def test_explicit_color_respected(self):
+        plot = Plot()
+        plot.line([0, 1], [0, 1], color="#ff00ff")
+        assert "#ff00ff" in plot.render()
+
+    def test_empty_plot_renders(self):
+        svg = Plot(title="empty").render()
+        assert "<svg" in svg
+
+    def test_save(self, tmp_path):
+        plot = Plot()
+        plot.line([0, 1], [0, 1])
+        path = plot.save(tmp_path / "plot.svg")
+        assert path.exists()
+        assert "<polyline" in path.read_text()

@@ -1,0 +1,72 @@
+"""Unit tests for the sweep utilities."""
+
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.experiments.scenarios import Scenario
+from repro.experiments.sweep import (
+    SweepPoint,
+    default_metrics,
+    sweep_config,
+    sweep_scenarios,
+    sweep_table,
+)
+
+
+def small_scenario(**kwargs):
+    return Scenario(
+        sensitive="vlc-streaming", batches=("cpubomb",), ticks=80, **kwargs
+    )
+
+
+class TestSweepConfig:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_config(small_scenario(), "no_such_knob", [1, 2])
+
+    def test_sweep_produces_point_per_value(self):
+        points = sweep_config(small_scenario(), "n_samples", [1, 5])
+        assert len(points) == 2
+        assert points[0].label == "n_samples=1"
+        assert points[1].value == 5
+        for point in points:
+            assert "violation_ratio" in point.metrics
+            assert "beta" in point.metrics
+
+    def test_base_config_respected(self):
+        base = StayAwayConfig(enabled=False)
+        points = sweep_config(small_scenario(), "n_samples", [5], base_config=base)
+        # Disabled controller never throttles regardless of the knob.
+        assert points[0].metrics["throttles"] == 0.0
+
+
+class TestSweepScenarios:
+    def test_multiple_scenarios(self):
+        points = sweep_scenarios(
+            [
+                ("cpubomb", small_scenario(seed=1)),
+                ("soplex", small_scenario(seed=2).with_batches("soplex")),
+            ]
+        )
+        assert [point.label for point in points] == ["cpubomb", "soplex"]
+
+    def test_policy_selection(self):
+        points = sweep_scenarios(
+            [("x", small_scenario())], policy="unmanaged"
+        )
+        assert "throttles" not in points[0].metrics
+
+
+class TestSweepTable:
+    def test_renders(self):
+        points = [
+            SweepPoint(label="a", value=1, metrics={"m": 0.5, "k": 2.0}),
+            SweepPoint(label="b", value=2, metrics={"m": 0.7, "k": 3.0}),
+        ]
+        table = sweep_table(points)
+        assert "setting" in table
+        assert "a" in table and "b" in table
+        assert "0.5" in table
+
+    def test_empty(self):
+        assert sweep_table([]) == "(empty sweep)"

@@ -1,0 +1,94 @@
+"""Unit tests for the application base classes."""
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+from repro.sim.contention import Allocation
+from repro.sim.resources import ResourceVector
+from repro.workloads.base import ApplicationKind, PhasedApplication, QosReport
+from repro.workloads.phases import Phase, PhaseSchedule
+
+
+def allocation(progress=1.0):
+    return Allocation(granted=ResourceVector.zero(), progress=progress)
+
+
+def two_phase_app(total_work=None, cyclic=True, noise_std=0.0):
+    schedule = PhaseSchedule(
+        [
+            Phase("cpu", 10.0, ResourceVector(cpu=2.0)),
+            Phase("memory", 5.0, ResourceVector(cpu=0.5, memory=4000.0)),
+        ],
+        cyclic=cyclic,
+    )
+    return PhasedApplication(
+        name="two-phase", schedule=schedule, total_work=total_work, noise_std=noise_std
+    )
+
+
+class TestQosReport:
+    def test_violated_below_threshold(self):
+        assert QosReport(value=0.8, threshold=0.9).violated
+
+    def test_not_violated_at_threshold(self):
+        assert not QosReport(value=0.9, threshold=0.9).violated
+
+
+class TestPhasedApplication:
+    def test_initial_state(self, clock):
+        app = two_phase_app()
+        assert app.work_done == 0.0
+        assert not app.finished
+        assert app.kind is ApplicationKind.BATCH
+        assert app.current_phase_name() == "cpu"
+
+    def test_demand_follows_phase(self, clock):
+        app = two_phase_app()
+        assert app.demand(clock).cpu == pytest.approx(2.0)
+        for _ in range(10):
+            app.advance(allocation(), clock)
+        assert app.current_phase_name() == "memory"
+        assert app.demand(clock).memory == pytest.approx(4000.0)
+
+    def test_work_advances_with_progress(self, clock):
+        app = two_phase_app()
+        app.advance(allocation(progress=0.25), clock)
+        assert app.work_done == pytest.approx(0.25)
+
+    def test_starved_app_stays_in_phase(self, clock):
+        app = two_phase_app()
+        # 20 ticks at 10% progress = 2 work ticks: still in phase "cpu".
+        for _ in range(20):
+            app.advance(allocation(progress=0.1), clock)
+        assert app.current_phase_name() == "cpu"
+        assert app.elapsed_ticks == 20
+
+    def test_finishes_at_total_work(self, clock):
+        app = two_phase_app(total_work=3.0)
+        for _ in range(3):
+            app.advance(allocation(), clock)
+        assert app.finished
+        assert app.demand(clock).is_zero()
+
+    def test_phase_transitions_recorded(self, clock):
+        app = two_phase_app()
+        for _ in range(16):
+            app.advance(allocation(), clock)
+        # one transition cpu->memory at 10, one memory->cpu at 15
+        assert len(app.phase_transitions) == 2
+
+    def test_jitter_perturbs_demand(self, clock):
+        app = two_phase_app()
+        app.noise_std = 0.1
+        demands = {app.demand(clock).cpu for _ in range(10)}
+        assert len(demands) > 1
+        assert all(demand >= 0 for demand in demands)
+
+    def test_zero_noise_is_deterministic(self, clock):
+        app = two_phase_app(noise_std=0.0)
+        assert app.demand(clock).cpu == app.demand(clock).cpu == 2.0
+
+    def test_is_sensitive_flag(self):
+        app = two_phase_app()
+        assert not app.is_sensitive
+        assert app.qos_report() is None
