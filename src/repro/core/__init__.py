@@ -22,16 +22,27 @@ co-locations (§6).
 """
 
 from repro.core.action import ThrottleManager
+from repro.core.checkpoint import (
+    CheckpointError,
+    ControllerCheckpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from repro.core.config import StayAwayConfig
 from repro.core.controller import StayAway
 from repro.core.events import Event, EventKind, EventLog
 from repro.core.mapping import MappedSample, MappingPipeline
 from repro.core.prediction import Prediction, Predictor
 from repro.core.priorities import PrioritizedApp, PrioritizedStayAway
+from repro.core.resilience import ControllerHealth, DegradedModeMachine
 from repro.core.state_space import StateLabel, StateSpace, violation_range_radius
 from repro.core.template import MapTemplate
 
 __all__ = [
+    "CheckpointError",
+    "ControllerCheckpoint",
+    "ControllerHealth",
+    "DegradedModeMachine",
     "Event",
     "EventKind",
     "EventLog",
@@ -47,5 +58,7 @@ __all__ = [
     "StayAway",
     "StayAwayConfig",
     "ThrottleManager",
+    "restore_checkpoint",
+    "save_checkpoint",
     "violation_range_radius",
 ]

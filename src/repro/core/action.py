@@ -21,12 +21,13 @@
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import StayAwayConfig
 from repro.core.events import EventKind, EventLog
+from repro.sim.container import ContainerError, ContainerState
 from repro.sim.host import Host
 
 
@@ -60,6 +61,13 @@ class ThrottleManager:
         self._last_resume_tick: Optional[int] = None
         self._last_resume_reason: Optional[ResumeReason] = None
         self._stagnant_periods = 0
+        # Reconciliation bookkeeping: per-container (failures, next retry
+        # tick) for repairs that did not take effect yet.
+        self._retry: Dict[str, Tuple[int, int]] = {}
+        self.reconcile_repauses = 0
+        self.reconcile_drops = 0
+        self.failed_actions = 0
+        self.escalations = 0
 
     # -- target selection -------------------------------------------------
     def throttle_targets(self, host: Host) -> List[str]:
@@ -80,6 +88,129 @@ class ThrottleManager:
             for container in host.batch_containers()
             if container.is_running and not container.app.finished
         ]
+
+    @property
+    def desired_paused(self) -> List[str]:
+        """Containers the manager believes it is currently pausing."""
+        return list(self._paused_names)
+
+    @property
+    def pending_retries(self) -> Dict[str, int]:
+        """Unresolved repair attempts: container name -> failure count."""
+        return {name: failures for name, (failures, _) in self._retry.items()}
+
+    # -- reconciliation ----------------------------------------------------
+    def reconcile(self, tick: int, host: Host) -> None:
+        """Repair drift between the desired pause-set and reality.
+
+        External agents race the controller: an operator SIGCONTs a
+        container we paused, a supervisor restarts a crash-looping job,
+        an OOM-kill removes a paused container, an actuator fault
+        swallows a signal. Each period the desired pause-set is diffed
+        against actual container states; externally-resumed containers
+        are re-paused with capped exponential backoff, vanished ones
+        are dropped from the bookkeeping, and repeated failures raise
+        an escalation event.
+        """
+        if not self.config.reconcile_actions or not self.throttling:
+            return
+        period = self.config.period
+        for name in list(self._paused_names):
+            container = host.containers.get(name)
+            if container is None or container.state is ContainerState.STOPPED:
+                self._paused_names.remove(name)
+                self._retry.pop(name, None)
+                self.reconcile_drops += 1
+                self.events.record(
+                    tick, EventKind.RECONCILE, target=name, action="drop"
+                )
+                continue
+            if not container.is_running:
+                self._retry.pop(name, None)
+                continue
+            # Externally resumed (or a pause that never landed).
+            failures, next_tick = self._retry.get(name, (0, tick))
+            if tick < next_tick:
+                continue
+            try:
+                host.pause_container(name)
+            except ContainerError:
+                pass
+            if name in host.containers and host.container(name).is_paused:
+                self._retry.pop(name, None)
+                self.reconcile_repauses += 1
+                self.events.record(
+                    tick,
+                    EventKind.RECONCILE,
+                    target=name,
+                    action="repause",
+                    retries=failures,
+                )
+            else:
+                failures += 1
+                backoff = min(2 ** failures, self.config.action_backoff_cap)
+                self._retry[name] = (failures, tick + backoff * period)
+                self.failed_actions += 1
+                self.events.record(
+                    tick, EventKind.ACTION_FAILED, target=name, failures=failures
+                )
+                if failures == self.config.action_escalation_threshold:
+                    self.escalations += 1
+                    self.events.record(
+                        tick,
+                        EventKind.ACTION_ESCALATION,
+                        target=name,
+                        failures=failures,
+                    )
+        if not self._paused_names:
+            self.throttling = False
+
+    def preemptive_pause(self, tick: int, host: Host) -> bool:
+        """Pause every throttle target immediately (degraded-mode entry).
+
+        Flying blind — monitoring or QoS silent — the conservative move
+        is to protect the sensitive application first and let the batch
+        work wait until the channels resynchronize.
+        """
+        if self.throttling:
+            return False
+        targets = self.throttle_targets(host)
+        if not targets:
+            return False
+        for name in targets:
+            try:
+                host.pause_container(name)
+            except ContainerError:
+                pass
+        self._paused_names = targets
+        self._retry.clear()
+        self._seed_retries(tick, host, targets)
+        self.throttling = True
+        self.throttle_count += 1
+        self._stagnant_periods = 0
+        self.events.record(
+            tick,
+            EventKind.THROTTLE,
+            targets=list(targets),
+            predicted=False,
+            observed=False,
+            degraded=True,
+        )
+        return True
+
+    def _seed_retries(self, tick: int, host: Host, names: List[str]) -> None:
+        """Register an immediate retry for any pause that did not land.
+
+        A lost SIGSTOP leaves the container running while the pause-set
+        believes it stopped; recording the pending repair *now* keeps
+        the bookkeeping honest between reconciliation rounds.
+        """
+        if not self.config.reconcile_actions:
+            return
+        for name in names:
+            container = host.containers.get(name)
+            if container is not None and container.is_running:
+                self._retry[name] = (0, tick)
 
     # -- the per-period decision ---------------------------------------------
     def step(
@@ -141,6 +272,7 @@ class ThrottleManager:
         for name in newcomers:
             host.pause_container(name)
         self._paused_names.extend(newcomers)
+        self._seed_retries(tick, host, newcomers)
         self.throttle_count += 1
         self._stagnant_periods = 0
         self.events.record(
@@ -171,6 +303,8 @@ class ThrottleManager:
         for name in targets:
             host.pause_container(name)
         self._paused_names = targets
+        self._retry.clear()
+        self._seed_retries(tick, host, targets)
         self.throttling = True
         self.throttle_count += 1
         self._stagnant_periods = 0
@@ -205,6 +339,7 @@ class ThrottleManager:
             # Batch jobs finished or were removed while paused.
             self.throttling = False
             self._paused_names = []
+            self._retry.clear()
             return
 
         if sensitive_step_distance is not None and sensitive_step_distance > self.beta:
@@ -223,6 +358,7 @@ class ThrottleManager:
             host.resume_container(name)
         self.throttling = False
         self._paused_names = []
+        self._retry.clear()
         self._stagnant_periods = 0
         self._last_resume_tick = tick
         self._last_resume_reason = reason

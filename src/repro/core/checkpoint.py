@@ -1,0 +1,330 @@
+"""Checkpoint/restore of the controller's learned state.
+
+A controller that crashes (or is redeployed) should *resume*, not
+relearn: the state space took hundreds of periods to map, beta was
+tuned by observed premature resumes, and the per-mode step histograms
+are the entire prediction substrate. :class:`ControllerCheckpoint`
+captures all of it — plus the RNG streams and throttle machine state —
+so a restored controller makes byte-identical decisions to one that
+never went down.
+
+Durability discipline:
+
+* **atomic write** — serialize to a temporary file in the target
+  directory, fsync, then ``os.replace``; a crash mid-save leaves the
+  previous checkpoint intact;
+* **checksum** — the payload carries a SHA-256 over its canonical JSON;
+  a truncated or bit-flipped file fails loudly
+  (:class:`CheckpointError`) instead of resurrecting garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.action import ResumeReason
+from repro.core.events import EventKind
+from repro.core.state_space import StateLabel, StateSpace
+from repro.trajectory.modes import ExecutionMode
+
+FORMAT = "stayaway-checkpoint"
+VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised on corrupt, mismatched or misapplied checkpoints."""
+
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def _rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-safe bit-generator state."""
+    return json.loads(json.dumps(rng.bit_generator.state, default=int))
+
+
+def _mode_model_state(model) -> Dict[str, Any]:
+    return {
+        "distances": [float(v) for v in model.distances.samples],
+        "angles": [float(v) for v in model.angles.samples],
+        "steps_observed": int(model.steps_observed),
+        "last_point": (
+            None if model.last_point is None else [float(v) for v in model.last_point]
+        ),
+    }
+
+
+@dataclass
+class ControllerCheckpoint:
+    """A serializable snapshot of everything a controller has learned.
+
+    Captured state: the deduplicated state space (representatives,
+    coordinates, labels, refit bookkeeping), the per-execution-mode
+    step/angle histograms, the throttle machine (beta, pause-set,
+    counters, resume provenance) and both RNG streams.
+    """
+
+    payload: Dict[str, Any]
+
+    # -- capture -----------------------------------------------------------
+    @classmethod
+    def capture(cls, controller, tick: Optional[int] = None) -> "ControllerCheckpoint":
+        """Snapshot a live controller's learned state."""
+        space = controller.state_space
+        bank = controller.predictor.modes
+        throttle = controller.throttle
+        payload: Dict[str, Any] = {
+            "captured_tick": (
+                int(tick)
+                if tick is not None
+                else (controller.trajectory[-1].tick if controller.trajectory else 0)
+            ),
+            "state_space": {
+                "representatives": space.representatives.points.tolist(),
+                "counts": space.representatives.counts.tolist(),
+                "coords": space.coords.tolist(),
+                "labels": [label.value for label in space.labels],
+                "epsilon": float(space.representatives.epsilon),
+                "refit_count": int(space.refit_count),
+                "new_since_refit": int(space._new_since_refit),
+            },
+            "modes": {
+                mode.value: _mode_model_state(model)
+                for mode, model in bank.models.items()
+            },
+            "mode_bank": {
+                "current_mode": (
+                    None if bank.current_mode is None else bank.current_mode.value
+                ),
+                "mode_switches": int(bank.mode_switches),
+            },
+            "predictor_rng": _rng_state(controller.predictor.rng),
+            "throttle": {
+                "beta": float(throttle.beta),
+                "throttling": bool(throttle.throttling),
+                "paused_names": list(throttle._paused_names),
+                "throttle_count": int(throttle.throttle_count),
+                "resume_count": int(throttle.resume_count),
+                "probe_resume_count": int(throttle.probe_resume_count),
+                "stagnant_periods": int(throttle._stagnant_periods),
+                "last_resume_tick": throttle._last_resume_tick,
+                "last_resume_reason": (
+                    None
+                    if throttle._last_resume_reason is None
+                    else throttle._last_resume_reason.value
+                ),
+                "retry": {
+                    name: [int(failures), int(next_tick)]
+                    for name, (failures, next_tick) in throttle._retry.items()
+                },
+                "rng": _rng_state(throttle.rng),
+            },
+            "controller": {
+                "prev_coords": (
+                    None
+                    if controller._prev_coords is None
+                    else [float(v) for v in controller._prev_coords]
+                ),
+                "prev_mode": (
+                    None
+                    if controller._prev_mode is None
+                    else controller._prev_mode.value
+                ),
+            },
+        }
+        return cls(payload=payload)
+
+    # -- restore -----------------------------------------------------------
+    def restore_into(self, controller) -> None:
+        """Load this snapshot into a *fresh* controller.
+
+        The controller must not have run a period yet (its mapping
+        pipeline is created lazily against the restored state space).
+        """
+        if controller.mapping is not None or controller.trajectory:
+            raise CheckpointError(
+                "restore requires a fresh controller (it has already run)"
+            )
+        data = self.payload
+        config = controller.config
+
+        # State space.
+        ss = data["state_space"]
+        space = StateSpace(
+            epsilon=float(ss["epsilon"]),
+            refit_interval=config.refit_interval,
+            smacof_max_iter=config.smacof_max_iter,
+            radius_law=config.radius_law,
+            fixed_radius=config.fixed_radius,
+        )
+        space.representatives._points = [
+            np.asarray(row, dtype=float) for row in ss["representatives"]
+        ]
+        space.representatives._counts = [int(c) for c in ss["counts"]]
+        space.representatives._matrix = None
+        if space.representatives._points:
+            space.representatives.dimension = space.representatives._points[0].shape[0]
+        space.coords = np.asarray(ss["coords"], dtype=float).reshape(-1, 2)
+        space.labels = [StateLabel(value) for value in ss["labels"]]
+        space.refit_count = int(ss["refit_count"])
+        space._new_since_refit = int(ss["new_since_refit"])
+        if len(space.labels) != len(space.representatives._points) or (
+            space.coords.shape[0] != len(space.labels)
+        ):
+            raise CheckpointError("inconsistent state-space payload")
+        controller.state_space = space
+
+        # Per-mode trajectory models.
+        bank = controller.predictor.modes
+        for mode_value, state in data["modes"].items():
+            model = bank.models[ExecutionMode(mode_value)]
+            model.distances._samples.clear()
+            model.distances._samples.extend(float(v) for v in state["distances"])
+            model.angles._samples.clear()
+            model.angles._samples.extend(float(v) for v in state["angles"])
+            model.steps_observed = int(state["steps_observed"])
+            model._last_point = (
+                None
+                if state["last_point"] is None
+                else np.asarray(state["last_point"], dtype=float)
+            )
+        bank_state = data["mode_bank"]
+        bank._current_mode = (
+            None
+            if bank_state["current_mode"] is None
+            else ExecutionMode(bank_state["current_mode"])
+        )
+        bank.mode_switches = int(bank_state["mode_switches"])
+
+        # RNG streams.
+        controller.predictor.rng.bit_generator.state = data["predictor_rng"]
+
+        # Throttle machine.
+        ts = data["throttle"]
+        throttle = controller.throttle
+        throttle.beta = float(ts["beta"])
+        throttle.throttling = bool(ts["throttling"])
+        throttle._paused_names = list(ts["paused_names"])
+        throttle.throttle_count = int(ts["throttle_count"])
+        throttle.resume_count = int(ts["resume_count"])
+        throttle.probe_resume_count = int(ts["probe_resume_count"])
+        throttle._stagnant_periods = int(ts["stagnant_periods"])
+        throttle._last_resume_tick = ts["last_resume_tick"]
+        throttle._last_resume_reason = (
+            None
+            if ts["last_resume_reason"] is None
+            else ResumeReason(ts["last_resume_reason"])
+        )
+        throttle._retry = {
+            name: (int(failures), int(next_tick))
+            for name, (failures, next_tick) in ts["retry"].items()
+        }
+        throttle.rng.bit_generator.state = ts["rng"]
+
+        # Controller continuity.
+        cs = data["controller"]
+        controller._prev_coords = (
+            None
+            if cs["prev_coords"] is None
+            else np.asarray(cs["prev_coords"], dtype=float)
+        )
+        controller._prev_mode = (
+            None if cs["prev_mode"] is None else ExecutionMode(cs["prev_mode"])
+        )
+
+        controller.events.record(
+            int(data["captured_tick"]),
+            EventKind.CHECKPOINT_RESTORED,
+            states=len(space),
+            beta=throttle.beta,
+        )
+
+    # -- serialization -----------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Atomically write the checkpoint (tmp file + fsync + replace)."""
+        path = Path(path)
+        envelope = {
+            "format": FORMAT,
+            "version": VERSION,
+            "checksum": _checksum(self.payload),
+            "payload": self.payload,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        data = json.dumps(envelope, indent=2)
+        with open(tmp, "w") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ControllerCheckpoint":
+        """Read and verify a checkpoint written by :meth:`save`."""
+        path = Path(path)
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("format") != FORMAT:
+            raise CheckpointError(f"{path} is not a Stay-Away checkpoint")
+        if envelope.get("version") != VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {envelope.get('version')!r}"
+            )
+        payload = envelope.get("payload")
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"{path} has no payload")
+        if _checksum(payload) != envelope.get("checksum"):
+            raise CheckpointError(f"checksum mismatch in {path} (corrupt checkpoint)")
+        return cls(payload=payload)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def captured_tick(self) -> int:
+        """Tick at which the snapshot was taken."""
+        return int(self.payload["captured_tick"])
+
+    @property
+    def state_count(self) -> int:
+        """Number of mapped states in the snapshot."""
+        return len(self.payload["state_space"]["labels"])
+
+    @property
+    def beta(self) -> float:
+        """The learned resume threshold at capture time."""
+        return float(self.payload["throttle"]["beta"])
+
+
+def save_checkpoint(
+    controller, path: Union[str, Path], tick: Optional[int] = None
+) -> Path:
+    """Capture and atomically persist a controller's learned state."""
+    return ControllerCheckpoint.capture(controller, tick=tick).save(path)
+
+
+def restore_checkpoint(controller, path: Union[str, Path]) -> ControllerCheckpoint:
+    """Load a checkpoint file into a fresh controller; returns it."""
+    checkpoint = ControllerCheckpoint.load(path)
+    checkpoint.restore_into(controller)
+    return checkpoint
+
+
+__all__ = [
+    "CheckpointError",
+    "ControllerCheckpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
+]

@@ -70,6 +70,41 @@ class StayAwayConfig:
         Disc radius used when ``radius_law == "fixed"``.
     seed:
         RNG seed for candidate sampling and probe decisions.
+    sensor_guard:
+        Validate measurement vectors (NaN/Inf, negative, implausible
+        spikes) and impute rejects by last-good-value hold before they
+        reach the mapping pipeline.
+    guard_staleness_budget:
+        Consecutive rejected samples bridged by imputation before the
+        period counts as a monitoring gap.
+    guard_freeze_patience:
+        Identical consecutive vectors tolerated before the channel is
+        declared frozen (0 disables; flat simulated workloads repeat
+        vectors legitimately).
+    guard_plausibility_factor:
+        Readings above ``factor x host capacity`` for their metric are
+        rejected as sensor corruption rather than load.
+    degraded_mode:
+        Run the health state machine: fall back to reactive-only
+        throttling while monitoring or QoS is silent past its deadline,
+        resynchronize before trusting predictions again.
+    monitoring_deadline / qos_deadline:
+        Silence deadlines (ticks) for the two input channels.
+    resync_periods:
+        Consecutive healthy periods required to re-enter predictive
+        mode after a degradation.
+    degraded_pause_batch:
+        Preemptively pause all throttle targets when entering degraded
+        mode (flying blind: protect the sensitive app first).
+    reconcile_actions:
+        Diff the desired pause-set against actual container states each
+        period and repair drift (external SIGCONT/kills racing the
+        controller), with capped exponential retry backoff.
+    action_backoff_cap:
+        Maximum retry backoff in periods (exponential, capped).
+    action_escalation_threshold:
+        Consecutive failed repair attempts on one container before an
+        ACTION_ESCALATION event is recorded.
     """
 
     period: int = 1
@@ -93,6 +128,18 @@ class StayAwayConfig:
     radius_law: str = "rayleigh"
     fixed_radius: float = 0.05
     seed: int = 0
+    sensor_guard: bool = True
+    guard_staleness_budget: int = 8
+    guard_freeze_patience: int = 0
+    guard_plausibility_factor: float = 4.0
+    degraded_mode: bool = True
+    monitoring_deadline: int = 10
+    qos_deadline: int = 10
+    resync_periods: int = 3
+    degraded_pause_batch: bool = False
+    reconcile_actions: bool = True
+    action_backoff_cap: int = 8
+    action_escalation_threshold: int = 3
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -117,3 +164,19 @@ class StayAwayConfig:
             )
         if self.fixed_radius < 0:
             raise ValueError("fixed_radius must be non-negative")
+        if self.guard_staleness_budget < 0:
+            raise ValueError("guard_staleness_budget must be non-negative")
+        if self.guard_freeze_patience < 0:
+            raise ValueError("guard_freeze_patience must be non-negative")
+        if self.guard_plausibility_factor <= 0:
+            raise ValueError("guard_plausibility_factor must be positive")
+        if self.monitoring_deadline < 1:
+            raise ValueError("monitoring_deadline must be >= 1")
+        if self.qos_deadline < 1:
+            raise ValueError("qos_deadline must be >= 1")
+        if self.resync_periods < 1:
+            raise ValueError("resync_periods must be >= 1")
+        if self.action_backoff_cap < 1:
+            raise ValueError("action_backoff_cap must be >= 1")
+        if self.action_escalation_threshold < 1:
+            raise ValueError("action_escalation_threshold must be >= 1")

@@ -19,9 +19,11 @@ from repro.core.config import StayAwayConfig
 from repro.core.events import EventKind, EventLog
 from repro.core.mapping import MappingPipeline
 from repro.core.prediction import Prediction, Predictor
+from repro.core.resilience import DegradedModeMachine
 from repro.core.state_space import StateLabel, StateSpace
 from repro.core.template import MapTemplate
 from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.guard import SensorGuard
 from repro.monitoring.normalize import CapacityNormalizer
 from repro.monitoring.qos import QosTracker
 from repro.sim.host import Host, HostSnapshot
@@ -122,6 +124,16 @@ class StayAway:
         self.trajectory: List[TrajectoryPoint] = []
         if template is not None:
             self.throttle.beta = template.beta
+        self.guard: Optional[SensorGuard] = None
+        self.health: Optional[DegradedModeMachine] = None
+        if self.config.degraded_mode:
+            self.health = DegradedModeMachine(
+                self.events,
+                monitoring_deadline=self.config.monitoring_deadline,
+                qos_deadline=self.config.qos_deadline,
+                resync_periods=self.config.resync_periods,
+            )
+        self._qos_reports_seen = 0
         self._prev_coords: Optional[np.ndarray] = None
         self._prev_mode: Optional[ExecutionMode] = None
         self.last_prediction: Optional[Prediction] = None
@@ -142,6 +154,17 @@ class StayAway:
                 host.capacity, vm_count=len(self.collector.vm_names)
             )
             self.mapping = MappingPipeline(normalizer, self.state_space)
+            if self.config.sensor_guard and self.guard is None:
+                self.guard = SensorGuard(
+                    plausible_max=normalizer.scale
+                    * self.config.guard_plausibility_factor,
+                    staleness_budget=self.config.guard_staleness_budget,
+                    freeze_patience=self.config.guard_freeze_patience,
+                )
+
+        # 0. Reconcile the desired pause-set against reality before
+        #    deciding anything on top of stale bookkeeping.
+        self.throttle.reconcile(tick, host)
 
         violated = self.qos.violation_now
         if violated:
@@ -149,10 +172,52 @@ class StayAway:
 
         mode = self._classify_mode(host)
 
+        # 0b. Sensor guard: validate/impute the raw measurement.
+        raw = self.collector.latest.values
+        if self.guard is not None:
+            verdict = self.guard.inspect(tick, raw)
+            if not verdict.accepted:
+                self.events.record(
+                    tick,
+                    EventKind.SENSOR_REJECT,
+                    reasons=[reason.value for reason in verdict.reasons],
+                    imputed=verdict.imputed,
+                )
+            measurement = verdict.values
+            monitoring_ok = verdict.usable
+        else:
+            measurement = raw
+            monitoring_ok = True
+
+        # 0c. Health state machine: degrade on silent channels,
+        #     resynchronize before trusting predictions again.
+        if self.health is not None:
+            self.health.update(
+                tick, monitoring_ok=monitoring_ok, qos_fresh=self._qos_channel_fresh()
+            )
+            if self.health.entered_degraded_now and self.config.degraded_pause_batch:
+                self.throttle.preemptive_pause(tick, host)
+        predictive_allowed = self.health is None or self.health.predictive
+
+        if measurement is None:
+            # Monitoring gap: nothing to map. Stay conservative — keep
+            # reacting to observed violations so the sensitive app is
+            # not left unprotected while blind.
+            throttled_now = self.throttle.step(
+                tick,
+                host,
+                impending_violation=False,
+                observed_violation=violated and mode is ExecutionMode.COLOCATED,
+                sensitive_step_distance=None,
+            )
+            if throttled_now:
+                self.predictor.invalidate_pending()
+            self._prev_coords = None
+            self._prev_mode = mode
+            return
+
         # 1. Mapping.
-        mapped = self.mapping.map_measurement(
-            tick, self.collector.latest.values, violated
-        )
+        mapped = self.mapping.map_measurement(tick, measurement, violated)
         if mapped.is_new_state:
             self.events.record(tick, EventKind.NEW_STATE, index=mapped.state_index)
         if mapped.refitted:
@@ -165,7 +230,9 @@ class StayAway:
         prediction = self.predictor.predict(tick, mode, mapped.coords, self.state_space)
         self.last_prediction = prediction
         impending = (
-            prediction.impending_violation and mode is ExecutionMode.COLOCATED
+            prediction.impending_violation
+            and mode is ExecutionMode.COLOCATED
+            and predictive_allowed
         )
         if impending:
             self.events.record(
@@ -198,6 +265,21 @@ class StayAway:
         self._prev_mode = mode
 
     # -- helpers -----------------------------------------------------------------
+    def _qos_channel_fresh(self) -> bool:
+        """Whether the QoS channel produced a report since last period.
+
+        A channel that has *never* reported is "still learning" rather
+        than silent (the application may not have started yet); actual
+        silence only begins after the first report.
+        """
+        series = getattr(self.qos, "qos_series", None)
+        if series is None:
+            return True
+        count = len(series)
+        fresh = count > self._qos_reports_seen
+        self._qos_reports_seen = count
+        return fresh
+
     def _classify_mode(self, host: Host) -> ExecutionMode:
         """Execution mode from this controller's perspective.
 
@@ -252,4 +334,12 @@ class StayAway:
             "beta": self.throttle.beta,
             "refits": self.state_space.refit_count,
             "outcome_accuracy": self.predictor.outcome_accuracy(),
+            "resilience": {
+                "guard": self.guard.summary() if self.guard is not None else None,
+                "health": self.health.summary() if self.health is not None else None,
+                "reconcile_repauses": self.throttle.reconcile_repauses,
+                "reconcile_drops": self.throttle.reconcile_drops,
+                "failed_actions": self.throttle.failed_actions,
+                "escalations": self.throttle.escalations,
+            },
         }

@@ -18,6 +18,13 @@ class EventKind(enum.Enum):
     BETA_INCREMENT = "beta-increment"  # premature resume detected
     REFIT = "refit"                  # full SMACOF refit of the map
     NEW_STATE = "new-state"          # new representative added to the map
+    SENSOR_REJECT = "sensor-reject"  # guard refused a measurement vector
+    DEGRADED_ENTER = "degraded-enter"  # fell back to reactive-only policy
+    DEGRADED_EXIT = "degraded-exit"  # resynchronized into predictive mode
+    RECONCILE = "reconcile"          # desired/actual pause-set drift repaired
+    ACTION_FAILED = "action-failed"  # pause/resume did not take effect
+    ACTION_ESCALATION = "action-escalation"  # retries exhausted on a target
+    CHECKPOINT_RESTORED = "checkpoint-restored"  # learned state reloaded
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,14 @@ integration tests all drive the exact same machinery:
   QoS and utilization series.
 """
 
+from repro.experiments.chaos import (
+    ChaosComparison,
+    ChaosMix,
+    ChaosResult,
+    run_chaos,
+    run_chaos_comparison,
+    unguarded_config,
+)
 from repro.experiments.runner import (
     RunResult,
     TrioResult,
@@ -33,6 +41,9 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "BuiltScenario",
+    "ChaosComparison",
+    "ChaosMix",
+    "ChaosResult",
     "RunRecorder",
     "RunResult",
     "Scenario",
@@ -42,10 +53,13 @@ __all__ = [
     "sweep_config",
     "sweep_scenarios",
     "sweep_table",
+    "run_chaos",
+    "run_chaos_comparison",
     "run_isolated",
     "run_reactive",
     "run_scenario",
     "run_stayaway",
     "run_trio",
     "run_unmanaged",
+    "unguarded_config",
 ]

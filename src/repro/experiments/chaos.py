@@ -1,0 +1,288 @@
+"""Chaos experiments: run Stay-Away on a deliberately hostile host.
+
+The resilience layer (sensor guard, degraded modes, reconciliation) is
+only worth its complexity if it measurably protects the sensitive
+application when everything misbehaves at once. This module wires the
+full seeded fault mix from :mod:`repro.sim.faults` around a scenario —
+sensor corruption between host and controller, QoS-report dropout,
+flapping batch containers, lossy actuators, demand spikes — runs it,
+and reports the QoS damage plus the resilience layer's own telemetry.
+
+The headline comparison (:func:`run_chaos_comparison`, used by
+``benchmarks/bench_robustness_chaos.py``) runs the identical fault
+script twice: once with the resilience layer on (default config) and
+once with it off (``sensor_guard=False``, ``degraded_mode=False``,
+``reconcile_actions=False``). Same seeds, same faults — any difference
+in violation ratio is attributable to the resilience layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.experiments.scenarios import BuiltScenario, Scenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import (
+    ActuatorFaultInjector,
+    ContainerFlapper,
+    DemandSpiker,
+    InvariantChecker,
+    QosDropout,
+    SensorCorruptor,
+)
+
+
+@dataclass(frozen=True)
+class ChaosMix:
+    """Knobs of the seeded fault cocktail.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; each injector derives its own offset so the fault
+        script is identical across policies under comparison.
+    sensor_corruption:
+        Per-tick probability of a corrupted observation (NaN/Inf,
+        negative, spike or frozen replay).
+    qos_dropout:
+        Per-report probability of a swallowed QoS report.
+    flap / kill / restart:
+        Per-tick probabilities of external pause-toggle, kill and
+        supervisor-restart on each batch container.
+    actuator_loss:
+        Probability a pause/resume signal is silently dropped.
+    spike_windows / spike_factor:
+        Demand-spike windows for the sensitive application.
+    """
+
+    seed: int = 0
+    sensor_corruption: float = 0.05
+    qos_dropout: float = 0.05
+    flap: float = 0.01
+    kill: float = 0.0
+    restart: float = 0.01
+    actuator_loss: float = 0.2
+    spike_windows: Tuple[Tuple[int, int], ...] = ()
+    spike_factor: float = 2.0
+
+
+class CrashGuard:
+    """Middleware wrapper isolating controller crashes.
+
+    An unguarded controller fed NaN measurements can die outright (the
+    MDS placement asserts on non-finite distances). On a real host that
+    means the runtime process is gone: nothing resumes the containers
+    it paused and nothing protects the sensitive application anymore.
+    This wrapper reproduces that: after the first uncaught exception
+    the controller is never invoked again — only its QoS tracker keeps
+    observing so the violation accounting stays comparable.
+    """
+
+    def __init__(self, controller: StayAway) -> None:
+        self.controller = controller
+        self.crashed_at: Optional[int] = None
+        self.error: Optional[str] = None
+
+    def on_tick(self, snapshot, host) -> None:
+        if self.crashed_at is not None:
+            self.controller.qos.on_tick(snapshot, host)
+            return
+        try:
+            self.controller.on_tick(snapshot, host)
+        except Exception as exc:  # noqa: BLE001 — any crash kills the runtime
+            self.crashed_at = snapshot.tick
+            self.error = repr(exc)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run.
+
+    Attributes
+    ----------
+    scenario / mix:
+        What was run and under which fault cocktail.
+    built:
+        The instantiated host and applications.
+    controller:
+        The Stay-Away controller that survived (or didn't).
+    checker:
+        The invariant checker that rode along.
+    corruptor / flapper / qos_dropout / actuators / spiker:
+        The injectors, for fault-census assertions.
+    """
+
+    scenario: Scenario
+    mix: ChaosMix
+    built: BuiltScenario
+    controller: StayAway
+    checker: InvariantChecker
+    corruptor: SensorCorruptor
+    flapper: ContainerFlapper
+    qos_dropout: QosDropout
+    actuators: ActuatorFaultInjector
+    crash_guard: Optional[CrashGuard] = None
+    spiker: Optional[DemandSpiker] = None
+    faults_injected: int = 0
+
+    @property
+    def crashed_at(self) -> Optional[int]:
+        """Tick the controller died at (None = survived the run)."""
+        return None if self.crash_guard is None else self.crash_guard.crashed_at
+
+    def violation_ratio(self) -> float:
+        """Fraction of reported ticks in QoS violation."""
+        return self.controller.qos.violation_ratio()
+
+    def summary(self) -> dict:
+        """Controller summary + fault census + invariant verdict."""
+        return {
+            "controller": self.controller.summary(),
+            "violation_ratio": self.violation_ratio(),
+            "crashed_at": self.crashed_at,
+            "faults": {
+                "sensor_corruptions": len(self.corruptor.corrupted_ticks),
+                "qos_reports_dropped": self.qos_dropout.dropped_reports,
+                "container_flaps": len(self.flapper.fired),
+                "actuator_drops": len(self.actuators.dropped_signals),
+                "total": self.faults_injected,
+            },
+            "invariants": self.checker.summary(),
+        }
+
+
+def unguarded_config(config: Optional[StayAwayConfig] = None) -> StayAwayConfig:
+    """The same controller with the entire resilience layer disabled."""
+    base = config if config is not None else StayAwayConfig()
+    return replace(
+        base, sensor_guard=False, degraded_mode=False, reconcile_actions=False
+    )
+
+
+def run_chaos(
+    scenario: Scenario,
+    mix: Optional[ChaosMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> ChaosResult:
+    """Run a scenario under the chaos mix with a Stay-Away controller.
+
+    Middleware order matters and encodes the threat model:
+
+    1. the **flapper** fires first, so the controller's reconciliation
+       sees external drift the same period it happens;
+    2. the **controller** observes through the **corruptor** (only its
+       view is corrupted — the host truth is intact);
+    3. the **invariant checker** runs last, auditing the controller's
+       bookkeeping against the host truth after every period.
+    """
+    mix = mix if mix is not None else ChaosMix()
+    built = scenario.build(include_batch=True)
+    host = built.host
+
+    controller = StayAway(built.sensitive_app, config=config)
+    crash_guard = CrashGuard(controller)
+    corruptor = SensorCorruptor(
+        crash_guard, seed=mix.seed + 11, probability=mix.sensor_corruption
+    )
+    qos_dropout = QosDropout(
+        built.sensitive_app, probability=mix.qos_dropout, seed=mix.seed + 23
+    )
+    batch_names = [container.name for container in host.batch_containers()]
+    flapper = ContainerFlapper(
+        batch_names,
+        seed=mix.seed + 37,
+        flap_probability=mix.flap,
+        kill_probability=mix.kill,
+        restart_probability=mix.restart,
+    )
+    actuators = ActuatorFaultInjector(
+        host, seed=mix.seed + 41, probability=mix.actuator_loss
+    ).install()
+    spiker = (
+        DemandSpiker(
+            built.sensitive_app,
+            windows=list(mix.spike_windows),
+            factor=mix.spike_factor,
+        )
+        if mix.spike_windows
+        else None
+    )
+    checker = InvariantChecker(controller)
+
+    engine = SimulationEngine(host)
+    engine.add_middleware(flapper)
+    engine.add_middleware(corruptor)  # wraps the controller
+    engine.add_middleware(checker)
+    try:
+        engine.run(ticks=scenario.ticks)
+    finally:
+        actuators.remove()
+        qos_dropout.remove()
+        if spiker is not None:
+            spiker.remove()
+
+    faults = (
+        len(corruptor.corrupted_ticks)
+        + qos_dropout.dropped_reports
+        + len(flapper.fired)
+        + len(actuators.dropped_signals)
+    )
+    return ChaosResult(
+        scenario=scenario,
+        mix=mix,
+        built=built,
+        controller=controller,
+        checker=checker,
+        corruptor=corruptor,
+        flapper=flapper,
+        qos_dropout=qos_dropout,
+        actuators=actuators,
+        crash_guard=crash_guard,
+        spiker=spiker,
+        faults_injected=faults,
+    )
+
+
+@dataclass
+class ChaosComparison:
+    """Resilient vs unguarded controller under the identical fault script."""
+
+    resilient: ChaosResult
+    unguarded: ChaosResult
+
+    @property
+    def improvement(self) -> float:
+        """Absolute violation-ratio reduction from the resilience layer."""
+        return self.unguarded.violation_ratio() - self.resilient.violation_ratio()
+
+    def summary(self) -> dict:
+        return {
+            "resilient": self.resilient.summary(),
+            "unguarded": self.unguarded.summary(),
+            "improvement": self.improvement,
+        }
+
+
+def run_chaos_comparison(
+    scenario: Scenario,
+    mix: Optional[ChaosMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> ChaosComparison:
+    """Run the same seeded chaos twice: resilience on vs off."""
+    resilient = run_chaos(scenario, mix=mix, config=config)
+    unguarded = run_chaos(scenario, mix=mix, config=unguarded_config(config))
+    return ChaosComparison(resilient=resilient, unguarded=unguarded)
+
+
+__all__ = [
+    "ChaosComparison",
+    "ChaosMix",
+    "ChaosResult",
+    "CrashGuard",
+    "run_chaos",
+    "run_chaos_comparison",
+    "unguarded_config",
+]

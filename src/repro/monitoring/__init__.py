@@ -12,11 +12,15 @@ vectors" (§1). This package implements that agent:
   [0, 1] metric normalization (§4);
 * :class:`~repro.monitoring.qos.QosTracker` — the application-reported
   QoS/violation channel (§3.1);
+* :class:`~repro.monitoring.guard.SensorGuard` — validates each
+  measurement vector (NaN/Inf, negatives, implausible spikes, frozen
+  counters) and imputes rejected samples from the last good value;
 * :class:`~repro.monitoring.timeseries.Series` — lightweight numeric
   series used throughout analysis.
 """
 
 from repro.monitoring.collector import MetricsCollector
+from repro.monitoring.guard import GuardVerdict, RejectReason, SensorGuard
 from repro.monitoring.counters import CounterModel, PerfCounters
 from repro.monitoring.ipc import IpcViolationDetector
 from repro.monitoring.metrics import MeasurementVector, metric_labels
@@ -26,6 +30,7 @@ from repro.monitoring.timeseries import Series
 
 __all__ = [
     "CapacityNormalizer",
+    "GuardVerdict",
     "CounterModel",
     "IpcViolationDetector",
     "PerfCounters",
@@ -33,7 +38,9 @@ __all__ = [
     "MetricsCollector",
     "Normalizer",
     "QosTracker",
+    "RejectReason",
     "RunningMinMax",
+    "SensorGuard",
     "Series",
     "metric_labels",
 ]

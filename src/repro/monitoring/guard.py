@@ -1,0 +1,226 @@
+"""Sensor validation: reject corrupt measurements, impute over gaps.
+
+On a real host the monitoring channel is not trustworthy: counters
+wrap, agents hiccup, ``/sys`` reads race container teardown, and a
+stuck exporter happily repeats its last value forever. The controller's
+map lives or dies by its inputs — one ``inf`` reaching the MDS pipeline
+poisons every distance afterwards — so every
+:class:`~repro.monitoring.metrics.MeasurementVector` passes through a
+:class:`SensorGuard` before mapping.
+
+The guard performs four checks per sample:
+
+* **finiteness** — NaN/Inf anywhere in the vector;
+* **sign** — negative readings (usage is non-negative by construction);
+* **plausibility** — readings wildly above the physical capacity bound
+  of their metric (a corrupted counter, not a busy host);
+* **frozen counters** — the exact same vector repeating longer than a
+  configurable patience (off by default: flat workloads legitimately
+  produce identical vectors in simulation).
+
+Rejected samples are *imputed* by holding the last accepted vector, up
+to a staleness budget; once the budget is exhausted the guard declares
+the sample unusable and the period counts as a monitoring gap (the
+degraded-mode machinery in :mod:`repro.core.resilience` takes over).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class RejectReason(enum.Enum):
+    """Why the guard refused a measurement vector."""
+
+    NON_FINITE = "non-finite"
+    NEGATIVE = "negative"
+    IMPLAUSIBLE_SPIKE = "implausible-spike"
+    FROZEN = "frozen"
+
+
+@dataclass(frozen=True)
+class GuardVerdict:
+    """Outcome of inspecting one measurement vector.
+
+    Attributes
+    ----------
+    tick:
+        Tick of the inspected sample.
+    values:
+        The vector the controller should use: the original values when
+        accepted, the held last-good vector when imputed, ``None`` when
+        the sample is unusable (no last-good value, or staleness budget
+        exhausted).
+    accepted:
+        True when the raw sample passed every check.
+    imputed:
+        True when ``values`` is a last-good-value hold.
+    reasons:
+        Rejection reasons (empty when accepted).
+    stale_periods:
+        Consecutive imputed/unusable periods ending at this one.
+    """
+
+    tick: int
+    values: Optional[np.ndarray]
+    accepted: bool
+    imputed: bool
+    reasons: Tuple[RejectReason, ...]
+    stale_periods: int
+
+    @property
+    def usable(self) -> bool:
+        """Whether the controller has a vector to map this period."""
+        return self.values is not None
+
+
+class SensorGuard:
+    """Validates measurement vectors and holds last-good values.
+
+    Parameters
+    ----------
+    plausible_max:
+        Per-dimension upper bound on believable raw readings (e.g. the
+        host capacity per metric block times a slack factor). ``None``
+        disables the plausibility check.
+    staleness_budget:
+        Maximum consecutive rejected samples bridged by holding the
+        last accepted vector. Beyond it samples are unusable until a
+        good one arrives.
+    freeze_patience:
+        Number of consecutive *identical* vectors tolerated before the
+        channel is treated as frozen; ``0`` (default) disables the
+        check — simulated flat workloads repeat vectors legitimately.
+    """
+
+    def __init__(
+        self,
+        plausible_max: Optional[np.ndarray] = None,
+        staleness_budget: int = 8,
+        freeze_patience: int = 0,
+    ) -> None:
+        if staleness_budget < 0:
+            raise ValueError("staleness_budget must be non-negative")
+        if freeze_patience < 0:
+            raise ValueError("freeze_patience must be non-negative")
+        self.plausible_max = (
+            None if plausible_max is None else np.asarray(plausible_max, dtype=float)
+        )
+        self.staleness_budget = staleness_budget
+        self.freeze_patience = freeze_patience
+        self.accepted_count = 0
+        self.rejected_count = 0
+        self.imputed_count = 0
+        self.unusable_count = 0
+        self.reject_reasons: Dict[RejectReason, int] = {
+            reason: 0 for reason in RejectReason
+        }
+        self.verdicts: List[GuardVerdict] = []
+        self._last_good: Optional[np.ndarray] = None
+        self._stale: int = 0
+        self._repeat_run: int = 0
+
+    # -- checks -----------------------------------------------------------
+    def _check(self, values: np.ndarray) -> List[RejectReason]:
+        reasons: List[RejectReason] = []
+        if not np.all(np.isfinite(values)):
+            reasons.append(RejectReason.NON_FINITE)
+        else:
+            if np.any(values < 0):
+                reasons.append(RejectReason.NEGATIVE)
+            if self.plausible_max is not None and np.any(values > self.plausible_max):
+                reasons.append(RejectReason.IMPLAUSIBLE_SPIKE)
+        if (
+            self.freeze_patience > 0
+            and self._last_good is not None
+            and values.shape == self._last_good.shape
+            and np.array_equal(values, self._last_good)
+            and self._repeat_run >= self.freeze_patience
+        ):
+            reasons.append(RejectReason.FROZEN)
+        return reasons
+
+    # -- the per-sample entry point -----------------------------------------
+    def inspect(self, tick: int, values: np.ndarray) -> GuardVerdict:
+        """Validate one raw measurement vector.
+
+        Returns the verdict; ``verdict.values`` is what the mapping
+        pipeline should consume (or ``None`` for a monitoring gap).
+        """
+        values = np.asarray(values, dtype=float)
+        reasons = self._check(values)
+
+        if not reasons:
+            if self._last_good is not None and np.array_equal(values, self._last_good):
+                self._repeat_run += 1
+            else:
+                self._repeat_run = 0
+            self._last_good = values.copy()
+            self._stale = 0
+            self.accepted_count += 1
+            verdict = GuardVerdict(
+                tick=tick,
+                values=values,
+                accepted=True,
+                imputed=False,
+                reasons=(),
+                stale_periods=0,
+            )
+            self.verdicts.append(verdict)
+            return verdict
+
+        self.rejected_count += 1
+        for reason in reasons:
+            self.reject_reasons[reason] += 1
+        self._stale += 1
+        if self._last_good is not None and self._stale <= self.staleness_budget:
+            self.imputed_count += 1
+            verdict = GuardVerdict(
+                tick=tick,
+                values=self._last_good.copy(),
+                accepted=False,
+                imputed=True,
+                reasons=tuple(reasons),
+                stale_periods=self._stale,
+            )
+        else:
+            self.unusable_count += 1
+            verdict = GuardVerdict(
+                tick=tick,
+                values=None,
+                accepted=False,
+                imputed=False,
+                reasons=tuple(reasons),
+                stale_periods=self._stale,
+            )
+        self.verdicts.append(verdict)
+        return verdict
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def last_good(self) -> Optional[np.ndarray]:
+        """Most recent accepted vector (None before the first)."""
+        return None if self._last_good is None else self._last_good.copy()
+
+    @property
+    def stale_periods(self) -> int:
+        """Consecutive rejected samples ending now (0 when healthy)."""
+        return self._stale
+
+    def summary(self) -> dict:
+        """Counters for reports and tests."""
+        return {
+            "accepted": self.accepted_count,
+            "rejected": self.rejected_count,
+            "imputed": self.imputed_count,
+            "unusable": self.unusable_count,
+            "reject_reasons": {
+                reason.value: count
+                for reason, count in self.reject_reasons.items()
+                if count
+            },
+        }

@@ -66,6 +66,11 @@ class CapacityNormalizer:
         """Expected measurement-vector dimension."""
         return len(self._scale)
 
+    @property
+    def scale(self) -> np.ndarray:
+        """Per-dimension capacity bounds (copy)."""
+        return self._scale.copy()
+
     def normalize(self, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.shape[-1] != len(self._scale):

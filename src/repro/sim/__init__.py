@@ -30,7 +30,17 @@ from repro.sim.contention import (
     weighted_water_fill,
 )
 from repro.sim.engine import SimulationEngine, SimulationResult
-from repro.sim.faults import DemandSpiker, FaultSchedule, MonitoringDropout
+from repro.sim.faults import (
+    ActuatorFaultInjector,
+    ContainerFlapper,
+    DemandSpiker,
+    FaultSchedule,
+    InvariantBreach,
+    InvariantChecker,
+    MonitoringDropout,
+    QosDropout,
+    SensorCorruptor,
+)
 from repro.sim.host import Host, HostSnapshot
 from repro.sim.resources import (
     RATE_RESOURCES,
@@ -40,17 +50,23 @@ from repro.sim.resources import (
 )
 
 __all__ = [
+    "ActuatorFaultInjector",
     "Allocation",
     "Cluster",
     "ConstrainedScheduler",
     "Container",
+    "ContainerFlapper",
     "DemandSpiker",
     "FaultSchedule",
+    "InvariantBreach",
+    "InvariantChecker",
     "MigrationRecord",
     "MonitoringDropout",
     "Placement",
     "PlacementRequest",
+    "QosDropout",
     "SchedulingError",
+    "SensorCorruptor",
     "ContainerState",
     "ContentionModel",
     "Host",

@@ -134,6 +134,19 @@ class Container:
         if self.state is ContainerState.PAUSED:
             self.state = ContainerState.RUNNING
 
+    def restart(self) -> None:
+        """Supervisor restart: revive a stopped or paused container.
+
+        Unlike :meth:`resume`, a restart is allowed from STOPPED — it
+        models a crash-looping supervisor (systemd, ``lxc-autostart``)
+        bringing the process back up behind the controller's back.
+        Pause bookkeeping (``pause_count`` / ``paused_ticks``) is left
+        untouched; a finished application stays finished and simply
+        idles after the restart.
+        """
+        if self.state in (ContainerState.STOPPED, ContainerState.PAUSED, ContainerState.CREATED):
+            self.state = ContainerState.RUNNING
+
     # -- scheduling hooks (called by the host) ---------------------------
     def maybe_autostart(self, clock: SimulationClock) -> None:
         """Start the container once its scheduled start tick arrives."""

@@ -1,18 +1,33 @@
-"""Fault injection: scripted disturbances for robustness experiments.
+"""Fault injection: scripted and probabilistic disturbances.
 
 The controller must stay well-behaved when the environment misbehaves —
 containers dying mid-throttle, demand spikes, monitoring dropouts. This
 module turns those disturbances into declarative, reproducible
 middleware instead of ad-hoc test code.
+
+Two layers:
+
+* **Scripted faults** (:class:`FaultSchedule`, :class:`DemandSpiker`,
+  :class:`MonitoringDropout`) fire at fixed ticks — precise, replayable
+  unit-test material.
+* **Chaos faults** (:class:`SensorCorruptor`, :class:`QosDropout`,
+  :class:`ContainerFlapper`, :class:`ActuatorFaultInjector`) fire
+  probabilistically from a seeded RNG — the hostile-host mix the
+  resilience layer (sensor guard, degraded modes, reconciliation) is
+  built to survive. :class:`InvariantChecker` rides along and records
+  per-tick consistency breaches instead of crashing the run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.sim.host import Host, HostSnapshot
-from repro.sim.resources import ResourceVector
+from repro.sim.resources import Resource, ResourceVector
 
 
 @dataclass(frozen=True)
@@ -29,8 +44,8 @@ class FaultSchedule:
 
     Supported actions: ``kill`` (stop a container), ``pause`` /
     ``resume`` (external signals racing the controller's own), and
-    ``restart`` (resume a paused container and reset its pause count
-    bookkeeping is left untouched — a crash-looping supervisor).
+    ``restart`` (revive a stopped/paused container — a crash-looping
+    supervisor; pause-count bookkeeping is left untouched).
     """
 
     def __init__(self) -> None:
@@ -52,6 +67,11 @@ class FaultSchedule:
         self._scripted.append((tick, "resume", container))
         return self
 
+    def restart(self, tick: int, container: str) -> "FaultSchedule":
+        """Supervisor-restart a stopped/paused container at a tick."""
+        self._scripted.append((tick, "restart", container))
+        return self
+
     def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
         """Fire any faults scheduled for this tick."""
         for tick, kind, target in self._scripted:
@@ -64,6 +84,8 @@ class FaultSchedule:
                 container.pause()
             elif kind == "resume" and container.is_paused:
                 container.resume()
+            elif kind == "restart" and not container.is_running:
+                container.restart()
             else:
                 continue
             self.fired.append(FaultEvent(tick=tick, kind=kind, target=target))
@@ -90,10 +112,18 @@ class DemandSpiker:
         for start, end in windows:
             if end <= start:
                 raise ValueError(f"empty spike window ({start}, {end})")
+        ordered = sorted(windows)
+        for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+            if s2 < e1:
+                raise ValueError(
+                    f"overlapping spike windows ({s1}, {e1}) and ({s2}, {e2}); "
+                    "merge them or use a larger factor"
+                )
         self.app = app
         self.windows = list(windows)
         self.factor = factor
         self._original_demand = app.demand
+        self._removed = False
         app.demand = self._spiked_demand  # type: ignore[method-assign]
 
     def active(self, tick: int) -> bool:
@@ -107,8 +137,11 @@ class DemandSpiker:
         return base
 
     def remove(self) -> None:
-        """Restore the app's original demand function."""
+        """Restore the app's original demand function (idempotent)."""
+        if self._removed:
+            return
         self.app.demand = self._original_demand  # type: ignore[method-assign]
+        self._removed = True
 
 
 class MonitoringDropout:
@@ -132,3 +165,386 @@ class MonitoringDropout:
                 self.dropped_ticks.append(snapshot.tick)
                 return
         self.inner.on_tick(snapshot, host)
+
+
+# ---------------------------------------------------------------------------
+# Chaos layer: seeded probabilistic faults
+# ---------------------------------------------------------------------------
+
+class SensorCorruptor:
+    """Corrupt the snapshots an inner middleware observes.
+
+    Models a broken monitoring channel between the host and the
+    controller: with probability ``probability`` per tick the usage
+    readings handed to ``inner`` are corrupted — NaN/Inf injection, a
+    sign flip, an absurd spike, or a frozen replay of the previous
+    snapshot. The host itself is untouched; only the observation is.
+
+    Parameters
+    ----------
+    inner:
+        The middleware whose view is corrupted (e.g. the controller).
+    seed:
+        RNG seed; every corruption is reproducible.
+    probability:
+        Per-tick corruption probability.
+    kinds:
+        Corruption kinds to draw from (default: all).
+    """
+
+    KINDS: Tuple[str, ...] = ("nan", "inf", "negative", "spike", "freeze")
+
+    def __init__(
+        self,
+        inner,
+        seed: int = 0,
+        probability: float = 0.05,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.inner = inner
+        self.rng = np.random.default_rng(seed)
+        self.probability = probability
+        self.kinds = tuple(kinds) if kinds is not None else self.KINDS
+        unknown = set(self.kinds) - set(self.KINDS)
+        if unknown:
+            raise ValueError(f"unknown corruption kinds: {sorted(unknown)}")
+        self.corrupted_ticks: List[FaultEvent] = []
+        self._previous_usage: Optional[Dict[str, ResourceVector]] = None
+
+    def _corrupt_value(self, kind: str, value: float) -> float:
+        if kind == "nan":
+            return float("nan")
+        if kind == "inf":
+            return float("inf")
+        if kind == "negative":
+            return -abs(value) - 1.0
+        if kind == "spike":
+            return max(abs(value), 1.0) * 1e6
+        raise AssertionError(kind)
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        corrupted = snapshot
+        if snapshot.usage and self.rng.uniform() < self.probability:
+            kind = str(self.rng.choice(self.kinds))
+            if kind == "freeze" and self._previous_usage is not None:
+                corrupted = dataclasses.replace(
+                    snapshot, usage=dict(self._previous_usage)
+                )
+                self.corrupted_ticks.append(
+                    FaultEvent(tick=snapshot.tick, kind="sensor-freeze", target="*")
+                )
+            elif kind != "freeze":
+                name = str(self.rng.choice(sorted(snapshot.usage)))
+                resource = Resource(
+                    str(self.rng.choice([res.value for res in Resource]))
+                )
+                vector = snapshot.usage[name]
+                bad = dataclasses.replace(
+                    vector,
+                    **{resource.value: self._corrupt_value(kind, vector.get(resource))},
+                )
+                usage = dict(snapshot.usage)
+                usage[name] = bad
+                corrupted = dataclasses.replace(snapshot, usage=usage)
+                self.corrupted_ticks.append(
+                    FaultEvent(tick=snapshot.tick, kind=f"sensor-{kind}", target=name)
+                )
+        self._previous_usage = dict(snapshot.usage)
+        self.inner.on_tick(corrupted, host)
+
+
+class QosDropout:
+    """Silence an application's QoS channel.
+
+    Wraps ``app.qos_report`` so that during scripted windows — or with
+    a per-tick probability — the report is swallowed (``None``), as if
+    the application wedged or the reporting IPC broke. The silence the
+    degraded-mode machine must detect.
+
+    Parameters
+    ----------
+    app:
+        The (sensitive) application whose reports are dropped.
+    windows:
+        Optional ``(start_tick, end_tick)`` silence windows; needs a
+        ``clock`` to know the current tick.
+    probability / seed:
+        Optional per-call drop probability (seeded).
+    clock:
+        The simulation clock consulted for window checks.
+    """
+
+    def __init__(
+        self,
+        app,
+        windows: Optional[List] = None,
+        probability: float = 0.0,
+        seed: int = 0,
+        clock=None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if windows:
+            for start, end in windows:
+                if end <= start:
+                    raise ValueError(f"empty dropout window ({start}, {end})")
+            if clock is None:
+                raise ValueError("windows require a clock to consult")
+        self.app = app
+        self.windows = list(windows or [])
+        self.probability = probability
+        self.rng = np.random.default_rng(seed)
+        self.clock = clock
+        self.dropped_reports = 0
+        self._original_report = app.qos_report
+        self._removed = False
+        app.qos_report = self._guarded_report  # type: ignore[method-assign]
+
+    def _silenced_now(self) -> bool:
+        if self.windows and self.clock is not None:
+            tick = self.clock.tick
+            if any(start <= tick < end for start, end in self.windows):
+                return True
+        return self.probability > 0 and self.rng.uniform() < self.probability
+
+    def _guarded_report(self):
+        report = self._original_report()
+        if report is not None and self._silenced_now():
+            self.dropped_reports += 1
+            return None
+        return report
+
+    def remove(self) -> None:
+        """Restore the app's original report method (idempotent)."""
+        if self._removed:
+            return
+        self.app.qos_report = self._original_report  # type: ignore[method-assign]
+        self._removed = True
+
+
+class ContainerFlapper:
+    """Randomly pause/resume/kill/restart containers behind the
+    controller's back.
+
+    The crash-looping supervisor and trigger-happy operator rolled into
+    one middleware: each tick, each target container flips state with
+    the configured probabilities. All faults are recorded.
+
+    Parameters
+    ----------
+    targets:
+        Container names to harass.
+    flap_probability:
+        Per-tick chance to toggle pause/resume on a target.
+    kill_probability:
+        Per-tick chance to stop a running target outright.
+    restart_probability:
+        Per-tick chance to supervisor-restart a stopped/paused target.
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[str],
+        seed: int = 0,
+        flap_probability: float = 0.02,
+        kill_probability: float = 0.0,
+        restart_probability: float = 0.0,
+    ) -> None:
+        for name, p in (
+            ("flap_probability", flap_probability),
+            ("kill_probability", kill_probability),
+            ("restart_probability", restart_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        self.targets = list(targets)
+        self.rng = np.random.default_rng(seed)
+        self.flap_probability = flap_probability
+        self.kill_probability = kill_probability
+        self.restart_probability = restart_probability
+        self.fired: List[FaultEvent] = []
+
+    def _record(self, tick: int, kind: str, target: str) -> None:
+        self.fired.append(FaultEvent(tick=tick, kind=kind, target=target))
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        for name in self.targets:
+            if name not in host.containers:
+                continue
+            container = host.container(name)
+            if container.is_running and self.rng.uniform() < self.kill_probability:
+                container.stop()
+                self._record(snapshot.tick, "kill", name)
+                continue
+            if (
+                not container.is_running
+                and self.rng.uniform() < self.restart_probability
+            ):
+                container.restart()
+                self._record(snapshot.tick, "restart", name)
+                continue
+            if self.rng.uniform() < self.flap_probability:
+                if container.is_running:
+                    container.pause()
+                    self._record(snapshot.tick, "pause", name)
+                elif container.is_paused:
+                    container.resume()
+                    self._record(snapshot.tick, "resume", name)
+
+
+class ActuatorFaultInjector:
+    """Make the host's pause/resume signals unreliable.
+
+    With probability ``probability`` a ``pause_container`` /
+    ``resume_container`` call silently does nothing — the SIGSTOP or
+    SIGCONT was lost (ptrace interference, a frozen cgroup, a races-
+    with-teardown kernel path). The reconciliation loop must notice the
+    desired/actual drift and retry.
+
+    Use :meth:`install` / :meth:`remove` around the run.
+    """
+
+    def __init__(self, host: Host, seed: int = 0, probability: float = 0.2) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.host = host
+        self.rng = np.random.default_rng(seed)
+        self.probability = probability
+        self.dropped_signals: List[Tuple[str, str]] = []
+        self._original_pause = None
+        self._original_resume = None
+
+    def install(self) -> "ActuatorFaultInjector":
+        """Start dropping signals (idempotent)."""
+        if self._original_pause is not None:
+            return self
+        self._original_pause = self.host.pause_container
+        self._original_resume = self.host.resume_container
+        self.host.pause_container = self._flaky_pause  # type: ignore[method-assign]
+        self.host.resume_container = self._flaky_resume  # type: ignore[method-assign]
+        return self
+
+    def remove(self) -> None:
+        """Restore reliable signal delivery (idempotent)."""
+        if self._original_pause is None:
+            return
+        self.host.pause_container = self._original_pause  # type: ignore[method-assign]
+        self.host.resume_container = self._original_resume  # type: ignore[method-assign]
+        self._original_pause = None
+        self._original_resume = None
+
+    def _flaky_pause(self, name: str) -> None:
+        if self.rng.uniform() < self.probability:
+            self.dropped_signals.append(("pause", name))
+            return
+        self._original_pause(name)
+
+    def _flaky_resume(self, name: str) -> None:
+        if self.rng.uniform() < self.probability:
+            self.dropped_signals.append(("resume", name))
+            return
+        self._original_resume(name)
+
+
+# ---------------------------------------------------------------------------
+# Invariant checking
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InvariantBreach:
+    """One recorded consistency violation."""
+
+    tick: int
+    check: str
+    detail: str
+
+
+class InvariantChecker:
+    """Assert per-tick controller/host consistency; record breaches.
+
+    Registered *after* the controller, it verifies on every controller
+    period that:
+
+    * throttle bookkeeping matches container states — every container
+      the manager believes paused is actually not running (or has a
+      reconciliation retry in flight), and a non-throttling manager
+      holds no pause-set;
+    * no non-finite mapped coordinates entered the trajectory;
+    * the learned beta stays finite and positive;
+    * headline counters never decrease.
+
+    Breaches are recorded, not raised — under chaos the run must keep
+    going so the full breach census is available at the end.
+    """
+
+    def __init__(self, controller) -> None:
+        self.controller = controller
+        self.breaches: List[InvariantBreach] = []
+        self._last_counters: Dict[str, float] = {}
+
+    def _breach(self, tick: int, check: str, detail: str) -> None:
+        self.breaches.append(InvariantBreach(tick=tick, check=check, detail=detail))
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        controller = self.controller
+        period = getattr(controller.config, "period", 1)
+        if snapshot.tick % period != 0:
+            return
+        tick = snapshot.tick
+        throttle = controller.throttle
+
+        # 1. Throttle bookkeeping vs container states.
+        pending = set(getattr(throttle, "pending_retries", {}))
+        for name in throttle.desired_paused:
+            container = host.containers.get(name)
+            if container is None:
+                self._breach(
+                    tick, "pause-set", f"{name!r} in pause-set but not on host"
+                )
+            elif container.is_running and name not in pending:
+                self._breach(
+                    tick,
+                    "pause-set",
+                    f"{name!r} running while believed paused (no retry pending)",
+                )
+        if not throttle.throttling and throttle.desired_paused:
+            self._breach(
+                tick, "pause-set", "pause-set nonempty while not throttling"
+            )
+
+        # 2. Mapped coordinates stay finite.
+        if controller.trajectory:
+            coords = controller.trajectory[-1].coords
+            if not np.all(np.isfinite(coords)):
+                self._breach(tick, "coords", f"non-finite mapped coords {coords}")
+
+        # 3. Beta sane.
+        beta = throttle.beta
+        if not np.isfinite(beta) or beta <= 0:
+            self._breach(tick, "beta", f"beta degenerated to {beta}")
+
+        # 4. Monotone counters.
+        counters = {
+            "throttles": throttle.throttle_count,
+            "resumes": throttle.resume_count,
+            "violations": controller.qos.violation_count,
+        }
+        for key, value in counters.items():
+            previous = self._last_counters.get(key)
+            if previous is not None and value < previous:
+                self._breach(tick, "counters", f"{key} decreased {previous}->{value}")
+        self._last_counters = counters
+
+    @property
+    def ok(self) -> bool:
+        """True when no breach was recorded."""
+        return not self.breaches
+
+    def summary(self) -> dict:
+        """Breach counts per check."""
+        counts: Dict[str, int] = {}
+        for breach in self.breaches:
+            counts[breach.check] = counts.get(breach.check, 0) + 1
+        return {"breaches": len(self.breaches), "by_check": counts}

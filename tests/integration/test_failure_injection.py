@@ -10,8 +10,11 @@ import pytest
 
 from repro.core.config import StayAwayConfig
 from repro.core.controller import StayAway
+from repro.core.events import EventKind
+from repro.core.resilience import ControllerHealth
 from repro.sim.container import Container
 from repro.sim.engine import SimulationEngine
+from repro.sim.faults import DemandSpiker, FaultSchedule, MonitoringDropout
 from repro.sim.host import Host
 from repro.sim.resources import ResourceVector
 
@@ -142,3 +145,56 @@ class TestMultiBatchChurn:
         engine.add_middleware(Chaos())
         engine.run(ticks=100)  # must not raise
         assert len(controller.trajectory) == 100
+
+
+class TestCompoundFailures:
+    def test_dropout_kill_and_spike_resynchronize(self):
+        """Monitoring dropout + external batch kill/restart + a demand
+        spike in one run: the controller must degrade during the outage,
+        resynchronize afterwards, and finish with a consistent summary."""
+        host, sensitive, bomb = contended()
+        config = StayAwayConfig(seed=11, monitoring_deadline=10, resync_periods=3)
+        controller = StayAway(sensitive, config=config)
+
+        spiker = DemandSpiker(sensitive, windows=[(40, 50)], factor=1.5)
+        faults = FaultSchedule().kill(100, "bomb").restart(130, "bomb")
+        dropout = MonitoringDropout(controller, windows=[(60, 90)])
+        engine = SimulationEngine(host, [faults, dropout])
+        engine.run(ticks=160)
+        spiker.remove()
+
+        # The monitoring outage was long enough to degrade...
+        health = controller.health
+        assert health is not None
+        assert health.degraded_entries >= 1
+        enters = controller.events.of_kind(EventKind.DEGRADED_ENTER)
+        exits = controller.events.of_kind(EventKind.DEGRADED_EXIT)
+        assert len(enters) == health.degraded_entries
+        # ...and the controller resynchronized back to predictive mode.
+        assert health.state is ControllerHealth.PREDICTIVE
+        assert len(exits) >= 1
+        assert exits[-1].tick > 90  # after the dropout window
+
+        # Dropped ticks produced no trajectory points; every mapped
+        # point is finite despite the spike and the churn.
+        dropped = set(dropout.dropped_ticks)
+        assert dropped
+        assert all(point.tick not in dropped for point in controller.trajectory)
+        coords = np.vstack([point.coords for point in controller.trajectory])
+        assert np.all(np.isfinite(coords))
+
+        # The scripted faults actually fired (kill, then restart).
+        assert [event.kind for event in faults.fired] == ["kill", "restart"]
+        assert host.container("bomb").is_running or controller.throttle.throttling
+
+        # Summary counters are mutually consistent.
+        summary = controller.summary()
+        assert summary["periods"] == len(controller.trajectory)
+        guard = summary["resilience"]["guard"]
+        assert guard["accepted"] + guard["imputed"] == summary["periods"]
+        assert summary["resilience"]["health"]["degraded_entries"] == (
+            health.degraded_entries
+        )
+        assert summary["violations_observed"] == controller.qos.violation_count
+        assert summary["throttles"] == controller.throttle.throttle_count
+        assert summary["resumes"] == controller.throttle.resume_count

@@ -1,0 +1,147 @@
+"""Unit tests for controller checkpoint/restore."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    ControllerCheckpoint,
+    restore_checkpoint,
+    save_checkpoint,
+)
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.core.events import EventKind
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def learned_controller(ticks=60, seed=9):
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0, memory=500.0))
+    bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0, memory=64.0))
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb, start_tick=5))
+    controller = StayAway(sensitive, config=StayAwayConfig(seed=seed))
+    engine = SimulationEngine(host, [controller])
+    engine.run(ticks=ticks)
+    return controller, sensitive, engine
+
+
+class TestCaptureAndSerialize:
+    def test_capture_reflects_learned_state(self):
+        controller, _, _ = learned_controller()
+        checkpoint = ControllerCheckpoint.capture(controller)
+        assert checkpoint.state_count == len(controller.state_space)
+        assert checkpoint.beta == controller.throttle.beta
+        assert checkpoint.captured_tick == controller.trajectory[-1].tick
+
+    def test_save_load_round_trip(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        loaded = ControllerCheckpoint.load(path)
+        assert loaded.payload == ControllerCheckpoint.capture(controller).payload
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCorruptionDetection:
+    def test_checksum_mismatch_detected(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["throttle"]["beta"] = 99.0  # bit-flip
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum"):
+            ControllerCheckpoint.load(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(CheckpointError):
+            ControllerCheckpoint.load(path)
+
+    def test_wrong_format_detected(self, tmp_path):
+        path = tmp_path / "not.ckpt"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(CheckpointError, match="not a Stay-Away checkpoint"):
+            ControllerCheckpoint.load(path)
+
+    def test_unsupported_version_detected(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 999
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="version"):
+            ControllerCheckpoint.load(path)
+
+
+class TestRestore:
+    def test_restore_requires_fresh_controller(self):
+        controller, sensitive, _ = learned_controller()
+        checkpoint = ControllerCheckpoint.capture(controller)
+        with pytest.raises(CheckpointError, match="fresh"):
+            checkpoint.restore_into(controller)
+
+    def test_restore_reproduces_learned_state(self, tmp_path):
+        controller, sensitive, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        fresh = StayAway(sensitive, config=StayAwayConfig(seed=9))
+        restore_checkpoint(fresh, path)
+        assert len(fresh.state_space) == len(controller.state_space)
+        assert fresh.throttle.beta == controller.throttle.beta
+        assert fresh.state_space.labels == controller.state_space.labels
+        np.testing.assert_array_equal(
+            fresh.state_space.coords, controller.state_space.coords
+        )
+        restored = fresh.events.of_kind(EventKind.CHECKPOINT_RESTORED)
+        assert len(restored) == 1
+        assert restored[0].detail["states"] == len(controller.state_space)
+
+    def test_restore_reproduces_subsequent_decisions(self, tmp_path):
+        """The acceptance criterion: a restored controller makes the
+        same subsequent throttle decisions as an uninterrupted one."""
+        t1, t2 = 60, 60
+        # Uninterrupted reference run.
+        ctrl_a, _, engine_a = learned_controller(ticks=t1)
+        engine_a.run(ticks=t2)
+        tail_a = [
+            (p.tick, p.throttling, tuple(np.round(p.coords, 9)))
+            for p in ctrl_a.trajectory
+            if p.tick > t1
+        ]
+        # Identical run interrupted at t1, checkpointed and restored.
+        ctrl_b, sensitive_b, engine_b = learned_controller(ticks=t1)
+        path = save_checkpoint(ctrl_b, tmp_path / "state.ckpt")
+        ctrl_c = StayAway(sensitive_b, config=StayAwayConfig(seed=9))
+        restore_checkpoint(ctrl_c, path)
+        engine_b.middlewares = [ctrl_c]
+        engine_b.run(ticks=t2)
+        tail_c = [
+            (p.tick, p.throttling, tuple(np.round(p.coords, 9)))
+            for p in ctrl_c.trajectory
+            if p.tick > t1
+        ]
+        assert tail_a == tail_c
+        assert ctrl_a.throttle.beta == ctrl_c.throttle.beta
+        assert len(ctrl_a.state_space) == len(ctrl_c.state_space)
+
+    def test_inconsistent_payload_rejected(self, tmp_path):
+        controller, sensitive, _ = learned_controller()
+        checkpoint = ControllerCheckpoint.capture(controller)
+        checkpoint.payload["state_space"]["labels"].append("safe")
+        fresh = StayAway(sensitive, config=StayAwayConfig(seed=9))
+        with pytest.raises(CheckpointError, match="inconsistent"):
+            checkpoint.restore_into(fresh)

@@ -74,3 +74,17 @@ class TestPerContainerCollection:
     def test_empty_matrix_before_samples(self):
         collector = MetricsCollector()
         assert collector.as_matrix().shape == (0, 0)
+
+    def test_empty_matrix_keeps_dimension_once_labels_known(self):
+        """After the layout is fixed, an empty matrix is (0, dimension)
+        so shape arithmetic works without special-casing."""
+        host = build_host(batch_count=2)
+        collector = MetricsCollector()
+        collector.on_tick(host.step(), host)
+        dimension = collector.dimension
+        collector.samples.clear()
+        matrix = collector.as_matrix()
+        assert matrix.shape == (0, dimension)
+        # vstack against a real sample row works immediately.
+        stacked = np.vstack([matrix, np.zeros(dimension)])
+        assert stacked.shape == (1, dimension)

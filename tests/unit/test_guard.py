@@ -1,0 +1,122 @@
+"""Unit tests for the sensor guard (measurement validation + imputation)."""
+
+import numpy as np
+import pytest
+
+from repro.monitoring.guard import GuardVerdict, RejectReason, SensorGuard
+
+
+GOOD = np.array([1.0, 2.0, 3.0])
+
+
+class TestAcceptance:
+    def test_clean_vector_accepted(self):
+        guard = SensorGuard()
+        verdict = guard.inspect(0, GOOD)
+        assert verdict.accepted
+        assert verdict.usable
+        assert not verdict.imputed
+        assert verdict.reasons == ()
+        np.testing.assert_array_equal(verdict.values, GOOD)
+        assert guard.accepted_count == 1
+
+    def test_last_good_tracks_accepted(self):
+        guard = SensorGuard()
+        guard.inspect(0, GOOD)
+        np.testing.assert_array_equal(guard.last_good, GOOD)
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "bad, reason",
+        [
+            (np.array([1.0, np.nan, 3.0]), RejectReason.NON_FINITE),
+            (np.array([1.0, np.inf, 3.0]), RejectReason.NON_FINITE),
+            (np.array([1.0, -0.5, 3.0]), RejectReason.NEGATIVE),
+        ],
+    )
+    def test_bad_values_rejected(self, bad, reason):
+        guard = SensorGuard()
+        guard.inspect(0, GOOD)
+        verdict = guard.inspect(1, bad)
+        assert not verdict.accepted
+        assert reason in verdict.reasons
+        assert guard.reject_reasons[reason] == 1
+
+    def test_implausible_spike_rejected(self):
+        guard = SensorGuard(plausible_max=np.array([10.0, 10.0, 10.0]))
+        guard.inspect(0, GOOD)
+        verdict = guard.inspect(1, np.array([1.0, 2.0, 1e9]))
+        assert RejectReason.IMPLAUSIBLE_SPIKE in verdict.reasons
+
+    def test_plausibility_disabled_without_bound(self):
+        guard = SensorGuard(plausible_max=None)
+        assert guard.inspect(0, np.array([1e18, 1.0, 1.0])).accepted
+
+    def test_frozen_channel_detected_with_patience(self):
+        guard = SensorGuard(freeze_patience=2)
+        for tick in range(3):
+            assert guard.inspect(tick, GOOD).accepted
+        verdict = guard.inspect(3, GOOD)
+        assert RejectReason.FROZEN in verdict.reasons
+
+    def test_freeze_check_off_by_default(self):
+        guard = SensorGuard()
+        for tick in range(20):
+            assert guard.inspect(tick, GOOD).accepted
+
+
+class TestImputation:
+    def test_rejected_sample_imputed_from_last_good(self):
+        guard = SensorGuard()
+        guard.inspect(0, GOOD)
+        verdict = guard.inspect(1, np.array([np.nan, 0.0, 0.0]))
+        assert verdict.imputed
+        assert verdict.usable
+        np.testing.assert_array_equal(verdict.values, GOOD)
+        assert guard.imputed_count == 1
+
+    def test_no_last_good_means_unusable(self):
+        guard = SensorGuard()
+        verdict = guard.inspect(0, np.array([np.nan, 0.0, 0.0]))
+        assert not verdict.usable
+        assert verdict.values is None
+        assert guard.unusable_count == 1
+
+    def test_staleness_budget_exhausts(self):
+        guard = SensorGuard(staleness_budget=2)
+        guard.inspect(0, GOOD)
+        bad = np.array([np.nan, 0.0, 0.0])
+        assert guard.inspect(1, bad).imputed
+        assert guard.inspect(2, bad).imputed
+        exhausted = guard.inspect(3, bad)
+        assert not exhausted.usable
+        assert exhausted.stale_periods == 3
+
+    def test_recovery_resets_staleness(self):
+        guard = SensorGuard(staleness_budget=1)
+        guard.inspect(0, GOOD)
+        guard.inspect(1, np.array([np.nan, 0.0, 0.0]))
+        recovered = guard.inspect(2, GOOD * 2)
+        assert recovered.accepted
+        assert guard.stale_periods == 0
+        # Budget is available again after recovery.
+        assert guard.inspect(3, np.array([np.nan, 0.0, 0.0])).imputed
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        guard = SensorGuard()
+        guard.inspect(0, GOOD)
+        guard.inspect(1, np.array([np.nan, 0.0, 0.0]))
+        summary = guard.summary()
+        assert summary["accepted"] == 1
+        assert summary["rejected"] == 1
+        assert summary["imputed"] == 1
+        assert summary["reject_reasons"] == {"non-finite": 1}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SensorGuard(staleness_budget=-1)
+        with pytest.raises(ValueError):
+            SensorGuard(freeze_patience=-1)
