@@ -26,7 +26,9 @@ Package layout:
 * :mod:`repro.trajectory` — per-mode movement models and sampling;
 * :mod:`repro.baselines` — no-prevention / reactive / static-profiling;
 * :mod:`repro.experiments` — scenario builders and standard runners;
-* :mod:`repro.analysis` — utilization, QoS and accuracy summaries.
+* :mod:`repro.analysis` — utilization, QoS and accuracy summaries;
+* :mod:`repro.telemetry` — controller self-telemetry: metric registry,
+  stage timers, trace spans and JSON/Prometheus/JSONL exporters.
 """
 
 from repro.core.config import StayAwayConfig
@@ -48,6 +50,7 @@ from repro.sim.container import Container
 from repro.sim.engine import SimulationEngine
 from repro.sim.host import Host
 from repro.sim.resources import Resource, ResourceVector
+from repro.telemetry import Telemetry
 from repro.workloads.registry import available_workloads, make_workload
 
 __version__ = "1.0.0"
@@ -65,6 +68,7 @@ __all__ = [
     "StateSpace",
     "StayAway",
     "StayAwayConfig",
+    "Telemetry",
     "TrioResult",
     "available_workloads",
     "make_workload",

@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.reports import ascii_table
+from repro.core.config import StayAwayConfig
 from repro.experiments.runner import run_scenario, run_trio
 from repro.experiments.scenarios import Scenario
 from repro.workloads.registry import SENSITIVE_WORKLOADS, available_workloads
@@ -52,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one scenario under one policy")
     add_scenario_args(run_parser)
     run_parser.add_argument("--policy", choices=POLICIES, default="stayaway")
+    run_parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable controller self-telemetry (spans + stage timers)")
+    run_parser.add_argument(
+        "--show-telemetry", action="store_true",
+        help="print per-stage controller timings and the tail of the span tree")
+    run_parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write the telemetry JSON snapshot to PATH")
+    run_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the per-run span trace (one JSON per line) to PATH")
+    run_parser.add_argument(
+        "--prometheus-out", metavar="PATH", default=None,
+        help="write the metrics in Prometheus text format to PATH")
 
     compare_parser = sub.add_parser(
         "compare", help="run isolated/unmanaged/stay-away and compare"
@@ -89,7 +105,10 @@ def cmd_list_workloads(out) -> int:
 
 def cmd_run(args: argparse.Namespace, out) -> int:
     scenario = _scenario_from_args(args)
-    result = run_scenario(scenario, policy=args.policy)
+    config = None
+    if getattr(args, "no_telemetry", False):
+        config = StayAwayConfig(telemetry=False)
+    result = run_scenario(scenario, policy=args.policy, config=config)
     qos = result.qos_values()
     rows = [
         ["policy", args.policy],
@@ -110,7 +129,47 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             ["prediction accuracy", f"{summary['outcome_accuracy']:.1%}"],
         ])
     print(ascii_table(["metric", "value"], rows), file=out)
+    _emit_telemetry(args, result, out)
     return 0
+
+
+def _emit_telemetry(args: argparse.Namespace, result, out) -> None:
+    """Export/print controller self-telemetry per the run flags."""
+    telemetry = result.telemetry
+    if telemetry is None:
+        return
+    if getattr(args, "telemetry_out", None):
+        path = telemetry.write_json(
+            args.telemetry_out,
+            scenario={
+                "sensitive": result.scenario.sensitive,
+                "batches": list(result.scenario.batches),
+                "ticks": result.scenario.ticks,
+                "seed": result.scenario.seed,
+            },
+            policy=result.policy,
+        )
+        print(f"telemetry snapshot written to {path}", file=out)
+    if getattr(args, "trace_out", None):
+        count = telemetry.write_trace(args.trace_out)
+        print(f"{count} spans written to {args.trace_out}", file=out)
+    if getattr(args, "prometheus_out", None):
+        with open(args.prometheus_out, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.to_prometheus())
+        print(f"prometheus metrics written to {args.prometheus_out}", file=out)
+    if getattr(args, "show_telemetry", False):
+        rows = [
+            [stage, s["count"], f"{s['mean'] * 1e3:.3f}", f"{s['sum'] * 1e3:.1f}"]
+            for stage, s in sorted(telemetry.stage_summary().items())
+        ]
+        if rows:
+            print(ascii_table(
+                ["stage", "count", "mean ms", "total ms"], rows
+            ), file=out)
+        tree = telemetry.span_tree(last=3)
+        if tree:
+            print("last periods (span tree):", file=out)
+            print(tree, file=out)
 
 
 def cmd_compare(args: argparse.Namespace, out) -> int:

@@ -29,6 +29,7 @@ from repro.core.config import StayAwayConfig
 from repro.core.events import EventKind, EventLog
 from repro.sim.container import ContainerError, ContainerState
 from repro.sim.host import Host
+from repro.telemetry.registry import MetricRegistry
 
 
 class ResumeReason(enum.Enum):
@@ -47,6 +48,7 @@ class ThrottleManager:
         events: EventLog,
         rng: Optional[np.random.Generator] = None,
         target_selector: Optional[Callable[[Host], List[str]]] = None,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self.config = config
         self.events = events
@@ -54,9 +56,30 @@ class ThrottleManager:
         self._target_selector = target_selector
         self.beta = config.beta_initial
         self.throttling = False
-        self.throttle_count = 0
-        self.resume_count = 0
-        self.probe_resume_count = 0
+        self.metrics = registry if registry is not None else MetricRegistry()
+        self._c_throttles = self.metrics.counter(
+            "action.throttles", help="throttle rounds fired (SIGSTOP batch)"
+        )
+        self._c_resumes = self.metrics.counter(
+            "action.resumes", help="resume rounds (SIGCONT batch)"
+        )
+        self._c_probe_resumes = self.metrics.counter(
+            "action.probe_resumes", help="anti-starvation probe resumes"
+        )
+        self._c_repauses = self.metrics.counter(
+            "action.reconcile_repauses",
+            help="externally-resumed containers re-paused by reconciliation",
+        )
+        self._c_drops = self.metrics.counter(
+            "action.reconcile_drops",
+            help="vanished containers dropped from the pause-set",
+        )
+        self._c_failed = self.metrics.counter(
+            "action.failed", help="pause repairs that did not take effect"
+        )
+        self._c_escalations = self.metrics.counter(
+            "action.escalations", help="repair retry budgets exhausted"
+        )
         self._paused_names: List[str] = []
         self._last_resume_tick: Optional[int] = None
         self._last_resume_reason: Optional[ResumeReason] = None
@@ -64,10 +87,54 @@ class ThrottleManager:
         # Reconciliation bookkeeping: per-container (failures, next retry
         # tick) for repairs that did not take effect yet.
         self._retry: Dict[str, Tuple[int, int]] = {}
-        self.reconcile_repauses = 0
-        self.reconcile_drops = 0
-        self.failed_actions = 0
-        self.escalations = 0
+
+    # -- counters (registry-backed; setters exist for checkpoint restore) --
+    @property
+    def throttle_count(self) -> int:
+        """Throttle rounds fired so far."""
+        return int(self._c_throttles.value)
+
+    @throttle_count.setter
+    def throttle_count(self, value: int) -> None:
+        self._c_throttles.set(value)
+
+    @property
+    def resume_count(self) -> int:
+        """Resume rounds so far (probe resumes included)."""
+        return int(self._c_resumes.value)
+
+    @resume_count.setter
+    def resume_count(self, value: int) -> None:
+        self._c_resumes.set(value)
+
+    @property
+    def probe_resume_count(self) -> int:
+        """Anti-starvation probe resumes so far."""
+        return int(self._c_probe_resumes.value)
+
+    @probe_resume_count.setter
+    def probe_resume_count(self, value: int) -> None:
+        self._c_probe_resumes.set(value)
+
+    @property
+    def reconcile_repauses(self) -> int:
+        """Externally-resumed containers re-paused by reconciliation."""
+        return int(self._c_repauses.value)
+
+    @property
+    def reconcile_drops(self) -> int:
+        """Vanished containers dropped from the desired pause-set."""
+        return int(self._c_drops.value)
+
+    @property
+    def failed_actions(self) -> int:
+        """Pause repairs that did not take effect."""
+        return int(self._c_failed.value)
+
+    @property
+    def escalations(self) -> int:
+        """Repair retry budgets exhausted (operator attention needed)."""
+        return int(self._c_escalations.value)
 
     # -- target selection -------------------------------------------------
     def throttle_targets(self, host: Host) -> List[str]:
@@ -120,7 +187,7 @@ class ThrottleManager:
             if container is None or container.state is ContainerState.STOPPED:
                 self._paused_names.remove(name)
                 self._retry.pop(name, None)
-                self.reconcile_drops += 1
+                self._c_drops.inc()
                 self.events.record(
                     tick, EventKind.RECONCILE, target=name, action="drop"
                 )
@@ -138,7 +205,7 @@ class ThrottleManager:
                 pass
             if name in host.containers and host.container(name).is_paused:
                 self._retry.pop(name, None)
-                self.reconcile_repauses += 1
+                self._c_repauses.inc()
                 self.events.record(
                     tick,
                     EventKind.RECONCILE,
@@ -150,12 +217,12 @@ class ThrottleManager:
                 failures += 1
                 backoff = min(2 ** failures, self.config.action_backoff_cap)
                 self._retry[name] = (failures, tick + backoff * period)
-                self.failed_actions += 1
+                self._c_failed.inc()
                 self.events.record(
                     tick, EventKind.ACTION_FAILED, target=name, failures=failures
                 )
                 if failures == self.config.action_escalation_threshold:
-                    self.escalations += 1
+                    self._c_escalations.inc()
                     self.events.record(
                         tick,
                         EventKind.ACTION_ESCALATION,
@@ -186,7 +253,7 @@ class ThrottleManager:
         self._retry.clear()
         self._seed_retries(tick, host, targets)
         self.throttling = True
-        self.throttle_count += 1
+        self._c_throttles.inc()
         self._stagnant_periods = 0
         self.events.record(
             tick,
@@ -273,7 +340,7 @@ class ThrottleManager:
             host.pause_container(name)
         self._paused_names.extend(newcomers)
         self._seed_retries(tick, host, newcomers)
-        self.throttle_count += 1
+        self._c_throttles.inc()
         self._stagnant_periods = 0
         self.events.record(
             tick,
@@ -306,7 +373,7 @@ class ThrottleManager:
         self._retry.clear()
         self._seed_retries(tick, host, targets)
         self.throttling = True
-        self.throttle_count += 1
+        self._c_throttles.inc()
         self._stagnant_periods = 0
         self.events.record(
             tick,
@@ -362,9 +429,9 @@ class ThrottleManager:
         self._stagnant_periods = 0
         self._last_resume_tick = tick
         self._last_resume_reason = reason
-        self.resume_count += 1
+        self._c_resumes.inc()
         if reason is ResumeReason.PROBE:
-            self.probe_resume_count += 1
+            self._c_probe_resumes.inc()
             self.events.record(tick, EventKind.PROBE_RESUME, targets=list(names))
         else:
             self.events.record(

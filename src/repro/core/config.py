@@ -105,6 +105,14 @@ class StayAwayConfig:
     action_escalation_threshold:
         Consecutive failed repair attempts on one container before an
         ACTION_ESCALATION event is recorded.
+    telemetry:
+        Record self-telemetry: per-period trace spans and ``*_seconds``
+        stage histograms around Mapping -> Prediction -> Action (see
+        :mod:`repro.telemetry`). Counters and gauges stay live either
+        way; disabling only removes the clock reads and span records
+        (the delta measured by ``benchmarks/bench_perf_overhead.py``).
+    telemetry_max_spans:
+        Retention cap for finished trace spans per controller.
     """
 
     period: int = 1
@@ -140,6 +148,8 @@ class StayAwayConfig:
     reconcile_actions: bool = True
     action_backoff_cap: int = 8
     action_escalation_threshold: int = 3
+    telemetry: bool = True
+    telemetry_max_spans: int = 20_000
 
     def __post_init__(self) -> None:
         if self.period < 1:

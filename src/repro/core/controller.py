@@ -27,6 +27,7 @@ from repro.monitoring.guard import SensorGuard
 from repro.monitoring.normalize import CapacityNormalizer
 from repro.monitoring.qos import QosTracker
 from repro.sim.host import Host, HostSnapshot
+from repro.telemetry import Telemetry
 from repro.trajectory.modes import ExecutionMode, classify_mode
 from repro.workloads.base import Application
 
@@ -83,6 +84,11 @@ class StayAway:
         :class:`~repro.monitoring.ipc.IpcViolationDetector` for the
         §3.1 counter-based alternative that needs no application
         cooperation.
+    telemetry:
+        Optional pre-built :class:`~repro.telemetry.Telemetry`; by
+        default one is created per controller, enabled according to
+        ``config.telemetry``. All stage timers, trace spans and the
+        guard/throttle counters share its registry.
     """
 
     def __init__(
@@ -92,10 +98,18 @@ class StayAway:
         template: Optional[MapTemplate] = None,
         throttle_target_selector=None,
         violation_detector=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config if config is not None else StayAwayConfig()
         self.sensitive_app = sensitive_app
         self.events = EventLog()
+        if telemetry is not None:
+            self.telemetry = telemetry
+        else:
+            self.telemetry = Telemetry(
+                enabled=self.config.telemetry,
+                max_spans=self.config.telemetry_max_spans,
+            )
         if template is not None:
             self.state_space = template.build_state_space(
                 refit_interval=self.config.refit_interval,
@@ -111,14 +125,18 @@ class StayAway:
                 radius_law=self.config.radius_law,
                 fixed_radius=self.config.fixed_radius,
             )
+        self.state_space.telemetry = self.telemetry
         self.collector = MetricsCollector(aggregate_batch=self.config.aggregate_batch)
         if violation_detector is not None:
             self.qos = violation_detector
         else:
             self.qos = QosTracker(sensitive_app)
-        self.predictor = Predictor(self.config)
+        self.predictor = Predictor(self.config, telemetry=self.telemetry)
         self.throttle = ThrottleManager(
-            self.config, self.events, target_selector=throttle_target_selector
+            self.config,
+            self.events,
+            target_selector=throttle_target_selector,
+            registry=self.telemetry.registry,
         )
         self.mapping: Optional[MappingPipeline] = None
         self.trajectory: List[TrajectoryPoint] = []
@@ -137,6 +155,16 @@ class StayAway:
         self._prev_coords: Optional[np.ndarray] = None
         self._prev_mode: Optional[ExecutionMode] = None
         self.last_prediction: Optional[Prediction] = None
+        self._c_periods = self.telemetry.counter(
+            "controller.periods", help="controller periods executed"
+        )
+        self._c_gaps = self.telemetry.counter(
+            "controller.monitoring_gaps", help="periods with no usable measurement"
+        )
+        self._g_beta = self.telemetry.gauge(
+            "action.beta", help="current learned resume threshold"
+        )
+        self._g_beta.set(self.throttle.beta)
 
     # -- middleware interface -------------------------------------------------
     def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
@@ -148,23 +176,34 @@ class StayAway:
         self._run_period(snapshot, host)
 
     def _run_period(self, snapshot: HostSnapshot, host: Host) -> None:
+        """One controller period, wrapped in its telemetry span."""
+        with self.telemetry.stage("controller.period", tick=snapshot.tick):
+            self._period(snapshot, host)
+        self._c_periods.inc()
+        self._g_beta.set(self.throttle.beta)
+
+    def _period(self, snapshot: HostSnapshot, host: Host) -> None:
         tick = snapshot.tick
         if self.mapping is None:
             normalizer = CapacityNormalizer(
                 host.capacity, vm_count=len(self.collector.vm_names)
             )
-            self.mapping = MappingPipeline(normalizer, self.state_space)
+            self.mapping = MappingPipeline(
+                normalizer, self.state_space, telemetry=self.telemetry
+            )
             if self.config.sensor_guard and self.guard is None:
                 self.guard = SensorGuard(
                     plausible_max=normalizer.scale
                     * self.config.guard_plausibility_factor,
                     staleness_budget=self.config.guard_staleness_budget,
                     freeze_patience=self.config.guard_freeze_patience,
+                    registry=self.telemetry.registry,
                 )
 
         # 0. Reconcile the desired pause-set against reality before
         #    deciding anything on top of stale bookkeeping.
-        self.throttle.reconcile(tick, host)
+        with self.telemetry.stage("controller.reconcile"):
+            self.throttle.reconcile(tick, host)
 
         violated = self.qos.violation_now
         if violated:
@@ -203,13 +242,15 @@ class StayAway:
             # Monitoring gap: nothing to map. Stay conservative — keep
             # reacting to observed violations so the sensitive app is
             # not left unprotected while blind.
-            throttled_now = self.throttle.step(
-                tick,
-                host,
-                impending_violation=False,
-                observed_violation=violated and mode is ExecutionMode.COLOCATED,
-                sensitive_step_distance=None,
-            )
+            self._c_gaps.inc()
+            with self.telemetry.stage("controller.act"):
+                throttled_now = self.throttle.step(
+                    tick,
+                    host,
+                    impending_violation=False,
+                    observed_violation=violated and mode is ExecutionMode.COLOCATED,
+                    sensitive_step_distance=None,
+                )
             if throttled_now:
                 self.predictor.invalidate_pending()
             self._prev_coords = None
@@ -217,7 +258,8 @@ class StayAway:
             return
 
         # 1. Mapping.
-        mapped = self.mapping.map_measurement(tick, measurement, violated)
+        with self.telemetry.stage("controller.map"):
+            mapped = self.mapping.map_measurement(tick, measurement, violated)
         if mapped.is_new_state:
             self.events.record(tick, EventKind.NEW_STATE, index=mapped.state_index)
         if mapped.refitted:
@@ -226,8 +268,13 @@ class StayAway:
             )
 
         # 2. Prediction.
-        self.predictor.observe(tick, mode, mapped.coords, self.state_space, violated)
-        prediction = self.predictor.predict(tick, mode, mapped.coords, self.state_space)
+        with self.telemetry.stage("controller.predict"):
+            self.predictor.observe(
+                tick, mode, mapped.coords, self.state_space, violated
+            )
+            prediction = self.predictor.predict(
+                tick, mode, mapped.coords, self.state_space
+            )
         self.last_prediction = prediction
         impending = (
             prediction.impending_violation
@@ -241,13 +288,14 @@ class StayAway:
 
         # 3. Action.
         sensitive_distance = self._sensitive_step_distance(mode, mapped.coords)
-        throttled_now = self.throttle.step(
-            tick,
-            host,
-            impending_violation=impending,
-            observed_violation=violated and mode is ExecutionMode.COLOCATED,
-            sensitive_step_distance=sensitive_distance,
-        )
+        with self.telemetry.stage("controller.act"):
+            throttled_now = self.throttle.step(
+                tick,
+                host,
+                impending_violation=impending,
+                observed_violation=violated and mode is ExecutionMode.COLOCATED,
+                sensitive_step_distance=sensitive_distance,
+            )
         if throttled_now:
             # The predicted co-located state will never materialize.
             self.predictor.invalidate_pending()
@@ -341,5 +389,14 @@ class StayAway:
                 "reconcile_drops": self.throttle.reconcile_drops,
                 "failed_actions": self.throttle.failed_actions,
                 "escalations": self.throttle.escalations,
+            },
+            "telemetry": {
+                "enabled": self.telemetry.enabled,
+                "monitoring_gaps": int(self._c_gaps.value),
+                "dedup_hit_rate": (
+                    self.mapping.dedup_hit_rate() if self.mapping is not None else 0.0
+                ),
+                "stages": self.telemetry.stage_summary(),
+                "spans_recorded": len(self.telemetry.tracer.spans),
             },
         }

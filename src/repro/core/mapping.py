@@ -60,10 +60,27 @@ class MappingPipeline:
         The shared state space (possibly pre-seeded from a template).
     """
 
-    def __init__(self, normalizer: Normalizer, state_space: StateSpace) -> None:
+    def __init__(
+        self, normalizer: Normalizer, state_space: StateSpace, telemetry=None
+    ) -> None:
         self.normalizer = normalizer
         self.state_space = state_space
         self.history: List[MappedSample] = []
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._c_samples = telemetry.counter(
+                "mapping.samples", help="measurement vectors mapped"
+            )
+            self._c_dedup_hits = telemetry.counter(
+                "mapping.dedup_hits",
+                help="samples merged into an existing representative (§4)",
+            )
+            self._c_new_states = telemetry.counter(
+                "mapping.new_states", help="new representatives opened"
+            )
+            self._g_states = telemetry.gauge(
+                "mapping.states", help="current state-space size"
+            )
 
     def map_measurement(
         self, tick: int, values: np.ndarray, violated: bool
@@ -80,7 +97,25 @@ class MappingPipeline:
             refitted=refitted,
         )
         self.history.append(sample)
+        if self.telemetry is not None:
+            self._c_samples.inc()
+            if is_new:
+                self._c_new_states.inc()
+            else:
+                self._c_dedup_hits.inc()
+            self._g_states.set(len(self.state_space))
         return sample
+
+    def dedup_hit_rate(self) -> float:
+        """Fraction of mapped samples absorbed by an existing state.
+
+        The §4 optimization in one number: how much of the stream the
+        representative-sample reduction kept out of the SMACOF matrix.
+        """
+        if not self.history:
+            return 0.0
+        hits = sum(1 for sample in self.history if not sample.is_new_state)
+        return hits / len(self.history)
 
     @property
     def latest(self) -> Optional[MappedSample]:

@@ -80,9 +80,24 @@ class AccuracyRecord:
 
 
 class Predictor:
-    """Per-mode trajectory learning + majority-vote violation forecasts."""
+    """Per-mode trajectory learning + majority-vote violation forecasts.
 
-    def __init__(self, config: StayAwayConfig, rng: Optional[np.random.Generator] = None):
+    Parameters
+    ----------
+    config / rng:
+        Tunables and the candidate-sampling RNG stream.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` recording forecast
+        counters (``prediction.rounds`` / ``.flags`` / ``.not_ready`` /
+        ``.samples_drawn``) and the ``prediction.votes`` histogram.
+    """
+
+    def __init__(
+        self,
+        config: StayAwayConfig,
+        rng: Optional[np.random.Generator] = None,
+        telemetry=None,
+    ):
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng(config.seed)
         self.modes = ModeModelBank(
@@ -92,6 +107,25 @@ class Predictor:
         self.accuracy_records: List[AccuracyRecord] = []
         self._pending: Optional[Prediction] = None
         self._pending_invalidated = False
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._c_rounds = telemetry.counter(
+                "prediction.rounds", help="prediction rounds attempted"
+            )
+            self._c_not_ready = telemetry.counter(
+                "prediction.not_ready", help="rounds skipped: model still learning"
+            )
+            self._c_flags = telemetry.counter(
+                "prediction.flags", help="impending-violation majority votes"
+            )
+            self._c_samples = telemetry.counter(
+                "prediction.samples_drawn", help="candidate next-states sampled"
+            )
+            self._h_votes = telemetry.histogram(
+                "prediction.votes",
+                help="violation-range votes per ready round",
+                buckets=tuple(float(v) for v in range(config.n_samples + 1)),
+            )
 
     def _model_mode(self, mode: ExecutionMode) -> ExecutionMode:
         """Which model bucket a mode maps to.
@@ -180,6 +214,15 @@ class Predictor:
                 ready=True,
                 impending_violation=impending,
             )
+        if self.telemetry is not None:
+            self._c_rounds.inc()
+            if not ready:
+                self._c_not_ready.inc()
+            else:
+                self._c_samples.inc(len(prediction.candidates))
+                self._h_votes.observe(float(prediction.votes))
+                if prediction.impending_violation:
+                    self._c_flags.inc()
         self.predictions.append(prediction)
         self._pending = prediction
         self._pending_invalidated = False

@@ -91,6 +91,9 @@ class StateSpace:
         self.fixed_radius = fixed_radius
         self.refit_count = 0
         self._new_since_refit = 0
+        #: Optional :class:`~repro.telemetry.Telemetry`; when set (the
+        #: controller attaches its own), refits are timed and recorded.
+        self.telemetry = None
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
@@ -162,18 +165,32 @@ class StateSpace:
     def refit(self) -> float:
         """Full SMACOF refit, Procrustes-aligned to the previous map.
 
-        Returns the normalized stress of the refit embedding.
+        Returns the normalized stress of the refit embedding. When a
+        telemetry object is attached the refit is timed into the
+        ``mapping.refit_seconds`` histogram (with a nested trace span)
+        and the state-space size at refit time is recorded.
         """
         n = len(self)
         if n < 3:
             self._new_since_refit = 0
             return 0.0
+        if self.telemetry is not None:
+            with self.telemetry.stage("mapping.refit"):
+                stress = self._refit_inner(n)
+            self.telemetry.gauge(
+                "mapping.refit_states", help="state-space size at the last refit"
+            ).set(n)
+            return stress
+        return self._refit_inner(n)
+
+    def _refit_inner(self, n: int) -> float:
         target = pairwise_distances(self.representatives.points)
         result = smacof(
             target,
             n_components=2,
             init=self.coords,
             max_iter=self.smacof_max_iter,
+            telemetry=self.telemetry,
         )
         aligned, _, _ = procrustes_align(self.coords, result.embedding)
         self.coords = aligned

@@ -78,6 +78,12 @@ class RunResult:
         """Total work completed by all batch applications."""
         return float(sum(app.work_done for app in self.built.batch_apps))
 
+    @property
+    def telemetry(self):
+        """The controller's :class:`~repro.telemetry.Telemetry` (None
+        for policies without a Stay-Away controller)."""
+        return self.controller.telemetry if self.controller is not None else None
+
 
 def run_scenario(
     scenario: Scenario,
@@ -85,6 +91,7 @@ def run_scenario(
     config: Optional[StayAwayConfig] = None,
     template: Optional[MapTemplate] = None,
     cooldown: int = 20,
+    telemetry=None,
 ) -> RunResult:
     """Run a scenario under a named policy.
 
@@ -97,6 +104,10 @@ def run_scenario(
         Stay-Away configuration and optional map template.
     cooldown:
         Resume cooldown for the reactive baseline.
+    telemetry:
+        Optional pre-built :class:`~repro.telemetry.Telemetry` handed
+        to the Stay-Away controller (ignored for other policies);
+        lets callers aggregate several runs into one registry.
     """
     if policy == "isolated":
         built = scenario.build(include_batch=False)
@@ -109,7 +120,9 @@ def run_scenario(
     qclouds: Optional[QCloudsLike] = None
 
     if policy == "stayaway":
-        controller = StayAway(built.sensitive_app, config=config, template=template)
+        controller = StayAway(
+            built.sensitive_app, config=config, template=template, telemetry=telemetry
+        )
         engine.add_middleware(controller)
         qos = controller.qos
     elif policy == "reactive":
@@ -158,9 +171,16 @@ def run_stayaway(
     scenario: Scenario,
     config: Optional[StayAwayConfig] = None,
     template: Optional[MapTemplate] = None,
+    telemetry=None,
 ) -> RunResult:
     """Co-location managed by Stay-Away."""
-    return run_scenario(scenario, policy="stayaway", config=config, template=template)
+    return run_scenario(
+        scenario,
+        policy="stayaway",
+        config=config,
+        template=template,
+        telemetry=telemetry,
+    )
 
 
 def run_reactive(scenario: Scenario, cooldown: int = 20) -> RunResult:

@@ -66,6 +66,7 @@ def smacof(
     init: Optional[np.ndarray] = None,
     max_iter: int = 300,
     tol: float = 1e-6,
+    telemetry=None,
 ) -> SmacofResult:
     """Minimize stress by majorization.
 
@@ -81,6 +82,10 @@ def smacof(
     max_iter / tol:
         Stop after ``max_iter`` iterations or when the relative stress
         improvement falls below ``tol``.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` (duck-typed: any
+        object with ``counter``/``gauge``/``histogram``) recording runs,
+        iteration counts, convergence and the final raw stress.
 
     Notes
     -----
@@ -119,6 +124,20 @@ def smacof(
         if stress == 0.0:
             converged = True
             break
+    if telemetry is not None:
+        telemetry.counter("smacof.runs", help="SMACOF solves").inc()
+        if converged:
+            telemetry.counter(
+                "smacof.converged", help="solves that met the tolerance"
+            ).inc()
+        telemetry.histogram(
+            "smacof.iterations",
+            help="Guttman iterations per solve",
+            buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 300.0),
+        ).observe(float(iterations))
+        telemetry.gauge("smacof.last_stress", help="raw stress of the last solve").set(
+            float(stress)
+        )
     return SmacofResult(
         embedding=embedding, stress=stress, iterations=iterations, converged=converged
     )

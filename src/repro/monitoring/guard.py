@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.registry import MetricRegistry
+
 
 class RejectReason(enum.Enum):
     """Why the guard refused a measurement vector."""
@@ -95,6 +97,12 @@ class SensorGuard:
         Number of consecutive *identical* vectors tolerated before the
         channel is treated as frozen; ``0`` (default) disables the
         check — simulated flat workloads repeat vectors legitimately.
+    registry:
+        Shared :class:`~repro.telemetry.registry.MetricRegistry` to
+        record verdict counters into (``guard.accepted``,
+        ``guard.rejects{reason=...}``, ...); a private registry is
+        created when none is given, so the counter attributes work
+        identically either way.
     """
 
     def __init__(
@@ -102,6 +110,7 @@ class SensorGuard:
         plausible_max: Optional[np.ndarray] = None,
         staleness_budget: int = 8,
         freeze_patience: int = 0,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if staleness_budget < 0:
             raise ValueError("staleness_budget must be non-negative")
@@ -112,17 +121,59 @@ class SensorGuard:
         )
         self.staleness_budget = staleness_budget
         self.freeze_patience = freeze_patience
-        self.accepted_count = 0
-        self.rejected_count = 0
-        self.imputed_count = 0
-        self.unusable_count = 0
-        self.reject_reasons: Dict[RejectReason, int] = {
-            reason: 0 for reason in RejectReason
+        self.metrics = registry if registry is not None else MetricRegistry()
+        self._c_accepted = self.metrics.counter(
+            "guard.accepted", help="measurement vectors that passed every check"
+        )
+        self._c_rejected = self.metrics.counter(
+            "guard.rejected", help="measurement vectors refused by the guard"
+        )
+        self._c_imputed = self.metrics.counter(
+            "guard.imputed", help="rejects bridged by last-good-value hold"
+        )
+        self._c_unusable = self.metrics.counter(
+            "guard.unusable", help="rejects with no usable value (monitoring gap)"
+        )
+        self._c_reasons = {
+            reason: self.metrics.counter(
+                "guard.rejects",
+                help="guard rejections by reason",
+                labels={"reason": reason.value},
+            )
+            for reason in RejectReason
         }
         self.verdicts: List[GuardVerdict] = []
         self._last_good: Optional[np.ndarray] = None
         self._stale: int = 0
         self._repeat_run: int = 0
+
+    # -- counters (registry-backed) ----------------------------------------
+    @property
+    def accepted_count(self) -> int:
+        """Samples that passed every check."""
+        return int(self._c_accepted.value)
+
+    @property
+    def rejected_count(self) -> int:
+        """Samples refused by at least one check."""
+        return int(self._c_rejected.value)
+
+    @property
+    def imputed_count(self) -> int:
+        """Rejected samples bridged by last-good-value hold."""
+        return int(self._c_imputed.value)
+
+    @property
+    def unusable_count(self) -> int:
+        """Rejected samples with nothing to impute from."""
+        return int(self._c_unusable.value)
+
+    @property
+    def reject_reasons(self) -> Dict[RejectReason, int]:
+        """Rejection totals per reason (all reasons, zeros included)."""
+        return {
+            reason: int(counter.value) for reason, counter in self._c_reasons.items()
+        }
 
     # -- checks -----------------------------------------------------------
     def _check(self, values: np.ndarray) -> List[RejectReason]:
@@ -161,7 +212,7 @@ class SensorGuard:
                 self._repeat_run = 0
             self._last_good = values.copy()
             self._stale = 0
-            self.accepted_count += 1
+            self._c_accepted.inc()
             verdict = GuardVerdict(
                 tick=tick,
                 values=values,
@@ -173,12 +224,12 @@ class SensorGuard:
             self.verdicts.append(verdict)
             return verdict
 
-        self.rejected_count += 1
+        self._c_rejected.inc()
         for reason in reasons:
-            self.reject_reasons[reason] += 1
+            self._c_reasons[reason].inc()
         self._stale += 1
         if self._last_good is not None and self._stale <= self.staleness_budget:
-            self.imputed_count += 1
+            self._c_imputed.inc()
             verdict = GuardVerdict(
                 tick=tick,
                 values=self._last_good.copy(),
@@ -188,7 +239,7 @@ class SensorGuard:
                 stale_periods=self._stale,
             )
         else:
-            self.unusable_count += 1
+            self._c_unusable.inc()
             verdict = GuardVerdict(
                 tick=tick,
                 values=None,

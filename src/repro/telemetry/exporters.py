@@ -1,0 +1,131 @@
+"""Exporters: registry/tracer state out to JSON, Prometheus text, JSONL.
+
+Three formats, three audiences:
+
+* :func:`registry_snapshot` / :func:`write_json_snapshot` — one nested
+  dict per run, the machine-readable run summary benches diff;
+* :func:`to_prometheus_text` — the text exposition format, so a real
+  deployment can point a scraper at the controller;
+* :func:`write_trace_jsonl` — one span per line, the per-run trace file
+  (loadable with ``json.loads`` per line, greppable by span name).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricRegistry
+from repro.telemetry.spans import Tracer
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a metric name for the Prometheus exposition format."""
+    sanitized = _PROM_NAME_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def registry_snapshot(registry: MetricRegistry) -> Dict[str, Any]:
+    """The registry as a nested dict: ``{counters, gauges, histograms}``.
+
+    Keys are rendered ``name{label="v"}`` strings; histogram values are
+    their ``count/sum/mean/min/max/last`` summaries.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for metric in registry:
+        if isinstance(metric, Counter):
+            counters[metric.key] = metric.value
+        elif isinstance(metric, Gauge):
+            gauges[metric.key] = metric.value
+        elif isinstance(metric, Histogram):
+            histograms[metric.key] = metric.summary()
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _prom_labels(metric, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = list(metric.labels)
+    if extra:
+        pairs.extend(sorted(extra.items()))
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{{{inner}}}"
+
+
+def to_prometheus_text(registry: MetricRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expand into
+    ``_bucket{le=...}`` (cumulative), ``_sum`` and ``_count`` series.
+    ``# HELP`` / ``# TYPE`` headers are emitted once per metric name.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        if name in seen_headers:
+            return
+        seen_headers.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for metric in registry:
+        name = prometheus_name(metric.name)
+        if isinstance(metric, Counter):
+            header(f"{name}_total", "counter", metric.help)
+            lines.append(f"{name}_total{_prom_labels(metric)} {metric.value:g}")
+        elif isinstance(metric, Gauge):
+            header(name, "gauge", metric.help)
+            lines.append(f"{name}{_prom_labels(metric)} {metric.value:g}")
+        elif isinstance(metric, Histogram):
+            header(name, "histogram", metric.help)
+            for bound, cumulative in metric.cumulative_buckets():
+                le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                lines.append(
+                    f"{name}_bucket{_prom_labels(metric, {'le': le})} {cumulative}"
+                )
+            lines.append(f"{name}_sum{_prom_labels(metric)} {metric.sum:g}")
+            lines.append(f"{name}_count{_prom_labels(metric)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json_snapshot(
+    registry: MetricRegistry,
+    path: str,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write :func:`registry_snapshot` (plus span stats) as a JSON file.
+
+    Returns the path written. ``extra`` entries are merged at top level
+    (run metadata: scenario, seed, ticks...).
+    """
+    payload: Dict[str, Any] = dict(extra or {})
+    payload["metrics"] = registry_snapshot(registry)
+    if tracer is not None:
+        payload["spans"] = {"recorded": len(tracer.spans), "dropped": tracer.dropped}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_trace_jsonl(tracer: Tracer, path: str) -> int:
+    """Write every finished span as one JSON object per line.
+
+    Returns the number of spans written.
+    """
+    spans = tracer.to_dicts()
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, sort_keys=True))
+            handle.write("\n")
+    return len(spans)

@@ -1,0 +1,213 @@
+"""Nestable trace spans: what the controller spent its period on.
+
+A :class:`Span` is one timed region (a controller period, the mapping
+stage inside it, a SMACOF refit inside *that*); the :class:`Tracer`
+tracks the open-span stack so nesting falls out of call order, keeps a
+bounded list of finished spans, and renders them as an indented tree.
+
+Span timestamps come from an injectable monotonic clock (default
+``time.perf_counter``), so tests can drive a fake clock and assert
+exact durations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed region of the runtime.
+
+    Attributes
+    ----------
+    span_id:
+        Monotonically increasing id, unique per tracer.
+    name:
+        Region name (e.g. ``controller.map``).
+    start:
+        Clock reading at entry.
+    end:
+        Clock reading at exit (``None`` while the span is open).
+    parent_id:
+        ``span_id`` of the enclosing span (``None`` at the root).
+    depth:
+        Nesting depth (0 at the root).
+    attrs:
+        Free-form attributes attached at entry (tick, state counts...).
+    """
+
+    span_id: int
+    name: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    depth: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds between entry and exit (``None`` while open)."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (the JSONL trace record)."""
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _SpanContext:
+    """Context manager that finishes its span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.finish(self.span)
+
+
+class _NullContext:
+    """Shared no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+    span = None
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Produces and stores nested spans.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (seconds); default ``time.perf_counter``.
+    max_spans:
+        Cap on stored finished spans; beyond it spans are still timed
+        and nested correctly but not retained (``dropped`` counts them).
+    enabled:
+        When ``False``, :meth:`span` returns a shared no-op context and
+        records nothing.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_spans: int = 20_000,
+        enabled: bool = True,
+    ) -> None:
+        if max_spans < 0:
+            raise ValueError("max_spans must be non-negative")
+        self.clock = clock if clock is not None else time.perf_counter
+        self.max_spans = max_spans
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # -- producing spans ---------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span; use as ``with tracer.span("map"): ...``."""
+        if not self.enabled:
+            return NULL_CONTEXT
+        return _SpanContext(self, self.start(name, **attrs))
+
+    def start(self, name: str, **attrs: Any) -> Span:
+        """Explicitly open a span (prefer :meth:`span`)."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start=self.clock(),
+            parent_id=parent.span_id if parent is not None else None,
+            depth=parent.depth + 1 if parent is not None else 0,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and anything left open beneath it)."""
+        span.end = self.clock()
+        while self._stack:
+            open_span = self._stack.pop()
+            if open_span is span:
+                break
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost open span (``None`` outside any)."""
+        return self._stack[-1] if self._stack else None
+
+    # -- reading back ------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All finished spans as JSON-ready dicts, in start order."""
+        return [span.to_dict() for span in sorted(self.spans, key=lambda s: s.span_id)]
+
+    def span_tree(self, last: Optional[int] = None) -> str:
+        """Render finished spans as an indented tree.
+
+        Parameters
+        ----------
+        last:
+            Only render the last ``last`` *root* spans (None = all).
+        """
+        ordered = sorted(self.spans, key=lambda s: s.span_id)
+        if last is not None:
+            root_ids = [s.span_id for s in ordered if s.depth == 0]
+            if len(root_ids) > last:
+                cutoff = root_ids[-last]
+                kept_roots = set(root_ids[-last:])
+                ordered = [
+                    s
+                    for s in ordered
+                    if s.span_id >= cutoff and self._root_of(s) in kept_roots
+                ]
+        lines = []
+        for span in ordered:
+            duration = span.duration
+            timing = f"{duration * 1e3:.3f}ms" if duration is not None else "open"
+            attrs = ""
+            if span.attrs:
+                inner = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+                attrs = f" ({inner})"
+            lines.append(f"{'  ' * span.depth}{span.name}{attrs} {timing}")
+        return "\n".join(lines)
+
+    def _root_of(self, span: Span) -> int:
+        by_id = {s.span_id: s for s in self.spans}
+        current = span
+        while current.parent_id is not None and current.parent_id in by_id:
+            current = by_id[current.parent_id]
+        return current.span_id

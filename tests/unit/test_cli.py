@@ -74,6 +74,44 @@ class TestCommands:
         ])
         assert code == 0
 
+    def test_run_show_telemetry(self):
+        code, output = run_cli([
+            "run", "--ticks", "100", "--batch", "cpubomb",
+            "--show-telemetry",
+        ])
+        assert code == 0
+        assert "controller.map" in output
+        assert "span tree" in output
+
+    def test_run_telemetry_exports(self, tmp_path):
+        import json
+
+        snap = tmp_path / "telemetry.json"
+        trace = tmp_path / "trace.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code, output = run_cli([
+            "run", "--ticks", "100", "--batch", "cpubomb",
+            "--telemetry-out", str(snap),
+            "--trace-out", str(trace),
+            "--prometheus-out", str(prom),
+        ])
+        assert code == 0
+        payload = json.loads(snap.read_text())
+        assert payload["policy"] == "stayaway"
+        assert payload["metrics"]["counters"]["controller.periods"] == 100
+        assert all(json.loads(line) for line in trace.read_text().splitlines())
+        assert "controller_periods_total 100" in prom.read_text()
+
+    def test_run_no_telemetry(self):
+        code, output = run_cli([
+            "run", "--ticks", "100", "--batch", "cpubomb",
+            "--no-telemetry", "--show-telemetry",
+        ])
+        assert code == 0
+        # no stages recorded, so no stage table in the output
+        assert "controller.map" not in output
+        assert "learned beta" in output  # counters still summarized
+
     def test_template(self, tmp_path):
         out_path = tmp_path / "map.json"
         code, output = run_cli([

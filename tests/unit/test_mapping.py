@@ -55,6 +55,43 @@ class TestMappingPipeline:
         assert make_pipeline().trajectory().shape == (0, 2)
         assert make_pipeline().latest is None
 
+    def test_trajectory_keeps_pre_refit_coords(self):
+        # A full SMACOF refit moves every representative; the recorded
+        # trajectory must keep the coordinates each sample was mapped
+        # at, not silently adopt the new geometry.
+        normalizer = RunningMinMax(
+            4, initial_min=[0.0] * 4, initial_max=[1.0] * 4
+        )
+        pipeline = MappingPipeline(
+            normalizer, StateSpace(epsilon=0.01, refit_interval=3)
+        )
+        rng = np.random.default_rng(7)
+        refit_seen = False
+        for tick in range(12):
+            sample = pipeline.map_measurement(tick, rng.random(4), False)
+            refit_seen = refit_seen or sample.refitted
+        assert refit_seen, "refit_interval=3 should have triggered a refit"
+        track = pipeline.trajectory(last_n=8)
+        assert track.shape == (8, 2)
+        for offset, sample in enumerate(pipeline.history[-8:]):
+            np.testing.assert_allclose(track[offset], sample.coords)
+        # At least one pre-refit sample's recorded coords must differ
+        # from the state space's current (post-refit) geometry.
+        current = pipeline.state_space.coords
+        moved = any(
+            not np.allclose(s.coords, current[s.state_index])
+            for s in pipeline.history
+        )
+        assert moved, "refit left every historical coordinate untouched"
+
+    def test_dedup_hit_rate(self):
+        pipeline = make_pipeline(epsilon=0.2)
+        assert pipeline.dedup_hit_rate() == 0.0
+        pipeline.map_measurement(0, np.array([0.5, 0.5, 0.5, 0.5]), False)
+        pipeline.map_measurement(1, np.array([0.51, 0.5, 0.5, 0.5]), False)
+        pipeline.map_measurement(2, np.array([0.9, 0.1, 0.9, 0.1]), False)
+        assert pipeline.dedup_hit_rate() == pytest.approx(1 / 3)
+
     def test_normalization_applied_before_dedup(self):
         # Raw values far apart but normalizing maps them within epsilon.
         normalizer = RunningMinMax(

@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo docs (stdlib only).
+
+Validates every relative link and intra-document anchor in the given
+markdown files (default: README.md and docs/*.md):
+
+* relative file links must point at an existing file or directory;
+* ``file.md#anchor`` links must match a heading in the target file,
+  using GitHub's slugification (lowercase, spaces to dashes,
+  punctuation stripped);
+* bare ``#anchor`` links are checked against the same document.
+
+External links (http/https/mailto) are recognised but not fetched —
+this checker must work offline and never flake CI on network weather.
+
+Usage::
+
+    python tools/check_links.py [FILE.md ...]
+
+Exit status 0 when every link resolves, 1 otherwise (offenders listed
+one per line as ``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — target captured up to the closing paren.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL = re.compile(r"^(https?|mailto|ftp):")
+#: Characters GitHub strips when slugifying headings.
+SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+INLINE_CODE = re.compile(r"`[^`]*`")
+MD_EMPHASIS = re.compile(r"[*_]")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = MD_EMPHASIS.sub("", text)
+    text = SLUG_STRIP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> Set[str]:
+    """All heading anchors in a markdown file (with -1/-2 dup suffixes)."""
+    anchors: Set[str] = set()
+    seen: Dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def extract_links(path: Path) -> List[Tuple[int, str]]:
+    """``(line_number, target)`` for every markdown link outside fences."""
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(INLINE_CODE.sub("", line)):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> List[str]:
+    """All broken-link messages for one markdown file."""
+    errors: List[str] = []
+    rel = path.relative_to(REPO_ROOT)
+    for lineno, target in extract_links(path):
+        if EXTERNAL.match(target):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if anchor:
+            if resolved.suffix != ".md" or not resolved.is_file():
+                continue  # anchors into non-markdown targets: not checked
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = collect_anchors(resolved)
+            if anchor.lower() not in anchor_cache[resolved]:
+                errors.append(
+                    f"{rel}:{lineno}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Check relative markdown links and anchors"
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="markdown files to check (default: README.md docs/*.md)",
+    )
+    args = parser.parse_args(argv)
+    files = [f.resolve() for f in args.files] if args.files else default_files()
+
+    anchor_cache: Dict[Path, Set[str]] = {}
+    errors: List[str] = []
+    checked = 0
+    for path in files:
+        if not path.is_file():
+            errors.append(f"{path}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(path, anchor_cache))
+
+    for error in errors:
+        print(error)
+    print(f"checked {checked} file(s): "
+          + ("OK" if not errors else f"{len(errors)} broken link(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
