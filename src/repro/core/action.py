@@ -21,15 +21,21 @@
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import StayAwayConfig
 from repro.core.events import EventKind, EventLog
+
+# The action stage drives the container actuators by design: in the
+# paper it is the host's LXC runtime, here the simulator stands in for
+# it (DESIGN.md). The exception/state value types are the boundary.
 from repro.sim.container import ContainerError, ContainerState
-from repro.sim.host import Host
 from repro.telemetry.registry import MetricRegistry
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host
 
 
 class ResumeReason(enum.Enum):

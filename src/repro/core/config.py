@@ -156,6 +156,8 @@ class StayAwayConfig:
             raise ValueError("period must be >= 1")
         if self.n_samples < 1:
             raise ValueError("n_samples must be >= 1")
+        if self.min_steps_for_prediction < 1:
+            raise ValueError("min_steps_for_prediction must be >= 1")
         if not 0.0 < self.majority <= 1.0:
             raise ValueError("majority must be in (0, 1]")
         if self.dedup_epsilon < 0:
@@ -168,6 +170,18 @@ class StayAwayConfig:
             raise ValueError("probe_probability must be in [0, 1]")
         if self.refit_interval < 1:
             raise ValueError("refit_interval must be >= 1")
+        if self.smacof_max_iter < 1:
+            raise ValueError("smacof_max_iter must be >= 1")
+        if self.resume_grace < 0:
+            raise ValueError("resume_grace must be non-negative")
+        if self.starvation_patience < 1:
+            raise ValueError("starvation_patience must be >= 1")
+        if self.trajectory_window < 2:
+            raise ValueError("trajectory_window must be >= 2 (need steps)")
+        if self.histogram_bins < 1:
+            raise ValueError("histogram_bins must be >= 1")
+        if self.telemetry_max_spans < 0:
+            raise ValueError("telemetry_max_spans must be non-negative")
         if self.radius_law not in ("rayleigh", "fixed"):
             raise ValueError(
                 f"radius_law must be 'rayleigh' or 'fixed', got {self.radius_law!r}"

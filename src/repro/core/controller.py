@@ -10,7 +10,7 @@ does on a physical host.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -26,10 +26,12 @@ from repro.monitoring.collector import MetricsCollector
 from repro.monitoring.guard import SensorGuard
 from repro.monitoring.normalize import CapacityNormalizer
 from repro.monitoring.qos import QosTracker
-from repro.sim.host import Host, HostSnapshot
 from repro.telemetry import Telemetry
 from repro.trajectory.modes import ExecutionMode, classify_mode
-from repro.workloads.base import Application
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
+    from repro.workloads.base import Application
 
 
 @dataclass(frozen=True)

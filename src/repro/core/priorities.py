@@ -19,12 +19,14 @@ two-class case recursively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import StayAwayConfig
 from repro.core.controller import StayAway
-from repro.sim.host import Host, HostSnapshot
-from repro.workloads.base import Application
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
+    from repro.workloads.base import Application
 
 
 @dataclass(frozen=True)

@@ -121,7 +121,7 @@ def smacof(
             converged = True
             break
         stress = new_stress
-        if stress == 0.0:
+        if stress <= 0.0:
             converged = True
             break
     if telemetry is not None:

@@ -13,13 +13,18 @@ low-dimensional regardless of how many batch jobs are co-located.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.monitoring.metrics import VM_METRICS, MeasurementVector, metric_labels
-from repro.sim.host import Host, HostSnapshot
+
+# ResourceVector/sum_vectors are the value types the sensor reads out of
+# a snapshot; they are the monitoring<->sim data boundary (DESIGN.md).
 from repro.sim.resources import ResourceVector, sum_vectors
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
 
 #: Label used for the aggregated batch logical VM.
 BATCH_LOGICAL_VM = "batch"

@@ -25,10 +25,14 @@ drive :class:`~repro.monitoring.ipc.IpcViolationDetector` directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from repro.sim.host import Host, HostSnapshot
+# Resource identifies which hardware counter a reading belongs to — a
+# value-type enum, the sanctioned monitoring<->sim boundary.
 from repro.sim.resources import Resource
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
 
 
 @dataclass(frozen=True)

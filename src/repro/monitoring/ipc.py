@@ -18,11 +18,13 @@ application-reported QoS.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.monitoring.timeseries import Series
-from repro.sim.host import Host, HostSnapshot
 from repro.workloads.base import QosReport
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
 
 
 class IpcViolationDetector:

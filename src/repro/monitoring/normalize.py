@@ -20,12 +20,14 @@ Two normalizers are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.monitoring.metrics import VM_METRICS
-from repro.sim.resources import ResourceVector
+
+if TYPE_CHECKING:
+    from repro.sim.resources import ResourceVector
 
 
 @runtime_checkable

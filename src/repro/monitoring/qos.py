@@ -10,11 +10,13 @@ and the analysis code.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.monitoring.timeseries import Series
-from repro.sim.host import Host, HostSnapshot
-from repro.workloads.base import Application, QosReport
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
+    from repro.workloads.base import Application, QosReport
 
 
 class QosTracker:

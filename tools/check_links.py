@@ -2,7 +2,8 @@
 """Markdown link checker for the repo docs (stdlib only).
 
 Validates every relative link and intra-document anchor in the given
-markdown files (default: README.md and docs/*.md):
+markdown files (default: every curated root-level ``*.md`` — i.e. all
+but the machine-retrieved PAPERS.md/SNIPPETS.md — plus ``docs/*.md``):
 
 * relative file links must point at an existing file or directory;
 * ``file.md#anchor`` links must match a heading in the target file,
@@ -115,8 +116,16 @@ def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> List[str]:
     return errors
 
 
+#: Root-level markdown that is machine-retrieved reference material,
+#: not curated documentation — excluded from the default link check
+#: (PAPERS.md carries image links into the arxiv scrape it came from).
+UNCURATED = {"PAPERS.md", "SNIPPETS.md"}
+
+
 def default_files() -> List[Path]:
-    files = [REPO_ROOT / "README.md"]
+    files = [
+        f for f in sorted(REPO_ROOT.glob("*.md")) if f.name not in UNCURATED
+    ]
     files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
     return [f for f in files if f.is_file()]
 

@@ -1,0 +1,41 @@
+"""sacheck — the Stay-Away invariant linter.
+
+An AST-based static-analysis pass over ``src/`` and ``tests/`` that
+enforces invariants the test suite can't see: controller determinism
+(no wall clocks, no global RNG), architectural layering (core never
+imports the simulator), and numerical/config hygiene.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalog and
+``python -m tools.sacheck --help`` for the CLI.
+"""
+
+from tools.sacheck.baseline import Baseline, BaselineEntry, baseline_from_findings
+from tools.sacheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    RuleWalker,
+    ScanResult,
+    scan_paths,
+    scan_source,
+)
+from tools.sacheck.layering import FORBIDDEN, LayeringRule, build_import_graph, layer_edges
+from tools.sacheck.rules import default_rules, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FORBIDDEN",
+    "FileContext",
+    "Finding",
+    "LayeringRule",
+    "Rule",
+    "RuleWalker",
+    "ScanResult",
+    "baseline_from_findings",
+    "build_import_graph",
+    "default_rules",
+    "layer_edges",
+    "rule_catalog",
+    "scan_paths",
+    "scan_source",
+]

@@ -1,0 +1,11 @@
+"""``python -m tools.sacheck`` entry point."""
+
+import sys
+
+from tools.sacheck.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe
+        sys.exit(0)

@@ -1,0 +1,140 @@
+"""Baseline handling: grandfathered findings that must not grow.
+
+The baseline (``tools/sacheck/baseline.json``) is a ratchet: findings
+recorded there — each with a human-written ``reason`` — are tolerated,
+anything beyond them fails the run.  Entries are matched by
+:attr:`Finding.fingerprint` (rule + path + source line text, no line
+numbers) so unrelated edits don't churn the file, and each entry
+carries a ``count`` so *more* occurrences of an already-baselined
+pattern still fail.
+
+``--write-baseline`` regenerates the file from the current scan,
+preserving reasons for entries that survive; new entries get a
+``TODO: justify`` reason which the checker itself refuses to accept —
+a freshly regenerated baseline fails CI until every entry is justified.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from tools.sacheck.engine import Finding
+
+TODO_REASON = "TODO: justify"
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    reason: str
+    count: int = 1
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.path}:{self.snippet}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "count": self.count,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=item["rule"],
+                path=item["path"],
+                snippet=item["snippet"],
+                reason=item.get("reason", ""),
+                count=int(item.get("count", 1)),
+            )
+            for item in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered sacheck findings. Every entry needs a real "
+                "'reason'; the checker rejects TODO placeholders. Regenerate "
+                "with: python -m tools.sacheck --write-baseline"
+            ),
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries, key=lambda e: (e.rule, e.path, e.snippet)
+            )],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def unjustified(self) -> List[BaselineEntry]:
+        """Entries with an empty or placeholder reason (not acceptable)."""
+        return [
+            entry for entry in self.entries
+            if not entry.reason.strip() or entry.reason.strip().startswith("TODO")
+        ]
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split findings into (new, baselined) and report stale entries.
+
+        Stale entries — baseline lines whose finding no longer exists —
+        are returned so the runner can nudge towards regeneration (the
+        ratchet should tighten as fixes land).
+        """
+        budget: Dict[str, int] = {}
+        for entry in self.entries:
+            budget[entry.fingerprint] = budget.get(entry.fingerprint, 0) + entry.count
+        consumed: Dict[str, int] = {}
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if consumed.get(fp, 0) < budget.get(fp, 0):
+                consumed[fp] = consumed.get(fp, 0) + 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries
+            if consumed.get(entry.fingerprint, 0) < budget[entry.fingerprint]
+        ]
+        return new, matched, stale
+
+
+def baseline_from_findings(
+    findings: Sequence[Finding], previous: Baseline
+) -> Baseline:
+    """Regenerate a baseline, preserving reasons from ``previous``."""
+    reasons = {entry.fingerprint: entry.reason for entry in previous.entries}
+    grouped: Dict[str, BaselineEntry] = {}
+    for finding in findings:
+        fp = finding.fingerprint
+        if fp in grouped:
+            grouped[fp].count += 1
+        else:
+            grouped[fp] = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                reason=reasons.get(fp, TODO_REASON),
+            )
+    return Baseline(entries=list(grouped.values()))

@@ -1,0 +1,123 @@
+"""SA103 — architectural layering, enforced on the import graph.
+
+The control loop (map → predict → act, paper §3) must stay a library
+the simulator *drives*, not one that reaches back into it:
+
+* ``core`` must not import ``sim`` / ``workloads`` / ``baselines`` /
+  ``experiments`` — the controller runs against real hosts in the
+  paper; growing a hard dependency on the simulator would weld the
+  reproduction to its testbed substitute (see DESIGN.md).
+* ``telemetry`` must not import ``core`` — self-measurement is a leaf
+  service; a cycle here would make the overhead benchmark circular.
+* ``monitoring`` must not import ``sim`` — sensors see value types
+  (snapshots, vectors), not the machinery that produced them.
+
+Imports inside ``if TYPE_CHECKING:`` are exempt: they vanish at
+runtime, which is exactly the sanctioned way to keep type hints across
+a layer boundary.
+
+Besides the rule, this module builds the full intra-``repro`` import
+graph (``build_import_graph``) so ``python -m tools.sacheck
+--import-graph`` can print the actual layer edges for docs and review.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from tools.sacheck.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    RuleWalker,
+    iter_python_files,
+    layer_of,
+    module_name,
+    relative_path,
+)
+
+#: layer -> layers it must never import at runtime
+FORBIDDEN: Dict[str, Set[str]] = {
+    "core": {"sim", "workloads", "baselines", "experiments"},
+    "telemetry": {"core"},
+    "monitoring": {"sim"},
+}
+
+
+def _import_targets(node: ast.stmt, current_module: str) -> List[str]:
+    """Absolute dotted module targets of an Import/ImportFrom node."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        if node.level:
+            parts = current_module.split(".")
+            base = ".".join(parts[: len(parts) - node.level])
+            module = f"{base}.{node.module}" if node.module else base
+        else:
+            module = node.module or ""
+        return [module] if module else []
+    return []
+
+
+class LayeringRule(Rule):
+    """SA103 — forbidden cross-layer imports (see module docstring)."""
+
+    id = "SA103"
+    name = "layering"
+    rationale = (
+        "core stays simulator-agnostic, telemetry stays a leaf, "
+        "monitoring sees value types only; TYPE_CHECKING imports exempt"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.layer in FORBIDDEN
+
+    def visit_import(self, node: ast.stmt, ctx: FileContext, walker: RuleWalker) -> Iterable[Finding]:
+        if walker.in_type_checking:
+            return
+        forbidden = FORBIDDEN[ctx.layer]
+        for target in _import_targets(node, ctx.module):
+            target_layer = layer_of(target)
+            if target_layer in forbidden:
+                yield self.make_finding(
+                    ctx, node,
+                    f"layer '{ctx.layer}' imports '{target}' (layer "
+                    f"'{target_layer}'); move the import under "
+                    "TYPE_CHECKING if it is type-only, otherwise break "
+                    "the dependency",
+                )
+
+
+def build_import_graph(paths: Sequence[Path], repo_root: Path) -> Dict[str, Set[str]]:
+    """``{module: {imported repro modules}}`` over every file in ``paths``."""
+    graph: Dict[str, Set[str]] = {}
+    for file_path in iter_python_files(paths, repo_root):
+        rel = relative_path(file_path, repo_root)
+        try:
+            tree = ast.parse(file_path.read_text(encoding="utf-8"), filename=rel)
+        except (SyntaxError, UnicodeDecodeError):
+            continue
+        module = module_name(rel)
+        edges = graph.setdefault(module, set())
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for target in _import_targets(node, module):
+                    if target.split(".")[0] == "repro":
+                        edges.add(target)
+    return graph
+
+
+def layer_edges(graph: Dict[str, Set[str]]) -> List[Tuple[str, str]]:
+    """Distinct ``(from_layer, to_layer)`` edges, sorted."""
+    edges: Set[Tuple[str, str]] = set()
+    for module, targets in graph.items():
+        src_layer = layer_of(module)
+        if src_layer is None:
+            continue
+        for target in targets:
+            dst_layer = layer_of(target)
+            if dst_layer is not None and dst_layer != src_layer:
+                edges.add((src_layer, dst_layer))
+    return sorted(edges)
