@@ -173,7 +173,7 @@ class ControllerCheckpoint:
             np.asarray(row, dtype=float) for row in ss["representatives"]
         ]
         space.representatives._counts = [int(c) for c in ss["counts"]]
-        space.representatives._matrix = None
+        space.representatives.invalidate_index()
         if space.representatives._points:
             space.representatives.dimension = space.representatives._points[0].shape[0]
         space.coords = np.asarray(ss["coords"], dtype=float).reshape(-1, 2)
@@ -184,6 +184,10 @@ class ControllerCheckpoint:
             space.coords.shape[0] != len(space.labels)
         ):
             raise CheckpointError("inconsistent state-space payload")
+        # Coords/labels were rewritten wholesale behind the cache: any
+        # violation geometry materialized before this point is stale.
+        space.invalidate_geometry()
+        space.telemetry = controller.state_space.telemetry
         controller.state_space = space
 
         # Per-mode trajectory models.

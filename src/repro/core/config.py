@@ -7,6 +7,7 @@ on the reproduction experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -160,6 +161,12 @@ class StayAwayConfig:
             raise ValueError("min_steps_for_prediction must be >= 1")
         if not 0.0 < self.majority <= 1.0:
             raise ValueError("majority must be in (0, 1]")
+        threshold = math.ceil(self.majority * self.n_samples)
+        if not 1 <= threshold <= self.n_samples:
+            raise ValueError(
+                f"majority={self.majority} with n_samples={self.n_samples} "
+                f"yields an unreachable vote threshold {threshold}"
+            )
         if self.dedup_epsilon < 0:
             raise ValueError("dedup_epsilon must be non-negative")
         if self.beta_initial <= 0:
@@ -204,3 +211,16 @@ class StayAwayConfig:
             raise ValueError("action_backoff_cap must be >= 1")
         if self.action_escalation_threshold < 1:
             raise ValueError("action_escalation_threshold must be >= 1")
+
+    def vote_threshold(self) -> int:
+        """Votes needed to flag an impending violation.
+
+        ``ceil(majority * n_samples)``, compared with ``>=`` by the
+        predictor. The previous strict ``votes > majority * n_samples``
+        test made unanimity (``majority = 1.0``) unsatisfiable: with 5
+        samples it demanded more than 5 votes. The ceiling keeps the
+        paper's "majority of the generated sample set" reading (0.5
+        with 5 samples still needs 3 votes) while every configured
+        majority, including 1.0, stays reachable.
+        """
+        return max(1, math.ceil(self.majority * self.n_samples))

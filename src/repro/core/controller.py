@@ -398,6 +398,7 @@ class StayAway:
                 "dedup_hit_rate": (
                     self.mapping.dedup_hit_rate() if self.mapping is not None else 0.0
                 ),
+                "geometry": self.state_space.geometry_stats(),
                 "stages": self.telemetry.stage_summary(),
                 "spans_recorded": len(self.telemetry.tracer.spans),
             },

@@ -205,7 +205,7 @@ class Predictor:
                 np.asarray(current, dtype=float), self.rng, self.config.n_samples
             )
             votes = state_space.violation_vote(candidates)
-            impending = votes > self.config.majority * self.config.n_samples
+            impending = votes >= self.config.vote_threshold()
             prediction = Prediction(
                 tick=tick,
                 mode=mode,

@@ -21,15 +21,21 @@ This module owns the geometry of §3.2:
 from __future__ import annotations
 
 import enum
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.mds.dedup import RepresentativeSet
-from repro.mds.distances import pairwise_distances, point_distances
+from repro.mds.distances import cross_distances, pairwise_distances, point_distances
 from repro.mds.incremental import place_point, procrustes_align
 from repro.mds.smacof import smacof
 from repro.mds.stress import normalized_stress
+
+#: A point exactly on a violation-state's center counts as inside its
+#: range even when the computed radius is 0 (a revisited violation
+#: state is, by definition, a violation).
+CENTER_EPSILON = 1e-12
 
 
 class StateLabel(enum.Enum):
@@ -37,6 +43,73 @@ class StateLabel(enum.Enum):
 
     SAFE = "safe"
     VIOLATION = "violation"
+
+
+@dataclass(frozen=True)
+class ViolationGeometry:
+    """Materialized violation-range geometry of one state-space snapshot.
+
+    Everything the per-period vote needs — violation centers, the
+    Rayleigh scale and every disc radius — computed once per state-space
+    change via a single broadcasted distance pass, so that
+    :meth:`contains` and :meth:`vote` are single vectorized NumPy
+    expressions with no per-candidate recomputation.
+
+    Instances are immutable snapshots; :class:`StateSpace` owns the
+    cache and rebuilds on its mutation events (see
+    :meth:`StateSpace.geometry`).
+
+    Attributes
+    ----------
+    n_states:
+        State-space size the snapshot was built from (consistency
+        guard for callers that mutate the space behind the cache).
+    scale:
+        The Rayleigh scale ``c`` at build time.
+    violation_indices:
+        ``(v,)`` state indices of the violation-states.
+    centers:
+        ``(v, 2)`` coordinates of the violation-states.
+    radii:
+        ``(v,)`` violation-range radii, index-aligned with ``centers``.
+    """
+
+    n_states: int
+    scale: float
+    violation_indices: np.ndarray
+    centers: np.ndarray
+    radii: np.ndarray
+
+    @property
+    def n_violations(self) -> int:
+        """Number of violation-states in the snapshot."""
+        return int(self.violation_indices.size)
+
+    def contains(self, point: np.ndarray) -> bool:
+        """True when ``point`` lies inside any violation-range disc."""
+        if self.centers.shape[0] == 0:
+            return False
+        distances = point_distances(np.asarray(point, dtype=float), self.centers)
+        return bool(np.any((distances <= CENTER_EPSILON) | (distances <= self.radii)))
+
+    def vote(self, candidates: np.ndarray) -> int:
+        """How many candidate points fall inside a violation-range.
+
+        One ``(n_candidates, n_violations)`` distance broadcast and one
+        boolean reduction; no Python-level loop over candidates.
+        """
+        if self.centers.shape[0] == 0 or candidates.shape[0] == 0:
+            return 0
+        distances = cross_distances(candidates, self.centers)
+        inside = (distances <= CENTER_EPSILON) | (distances <= self.radii[None, :])
+        return int(np.count_nonzero(inside.any(axis=1)))
+
+    def ranges(self) -> List[Tuple[np.ndarray, float]]:
+        """``(center, radius)`` per violation-state, copy-safe."""
+        return [
+            (self.centers[i].copy(), float(self.radii[i]))
+            for i in range(self.centers.shape[0])
+        ]
 
 
 def violation_range_radius(d: float, c: float) -> float:
@@ -94,6 +167,10 @@ class StateSpace:
         #: Optional :class:`~repro.telemetry.Telemetry`; when set (the
         #: controller attaches its own), refits are timed and recorded.
         self.telemetry = None
+        self._geometry: Optional[ViolationGeometry] = None
+        self._geometry_hits = 0
+        self._geometry_rebuilds = 0
+        self._geometry_invalidations = 0
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
@@ -116,10 +193,11 @@ class StateSpace:
         )
 
     def coordinate_scale(self) -> float:
-        """The Rayleigh scale ``c``: median of the coordinate ranges.
+        """The Rayleigh scale ``c``: median of the per-axis coordinate ranges.
 
-        For a 2-D map this is the median (mean) of the x-range and the
-        y-range of all mapped states.
+        For a 2-D map the per-axis ranges are two numbers — the x-range
+        and the y-range of all mapped states — so their median and
+        their mean coincide; ``c`` is that value.
         """
         if len(self) < 2:
             return 0.0
@@ -146,12 +224,14 @@ class StateSpace:
                 else coords[None, :]
             )
             self.labels.append(StateLabel.SAFE)
+            self.invalidate_geometry()
             self._new_since_refit += 1
             if self._new_since_refit >= self.refit_interval:
                 self.refit()
                 refitted = True
-        if violated:
+        if violated and self.labels[index] is not StateLabel.VIOLATION:
             self.labels[index] = StateLabel.VIOLATION
+            self.invalidate_geometry()
         return index, is_new, refitted
 
     def _place_new(self, normalized: np.ndarray) -> np.ndarray:
@@ -196,6 +276,7 @@ class StateSpace:
         self.coords = aligned
         self.refit_count += 1
         self._new_since_refit = 0
+        self.invalidate_geometry()
         return normalized_stress(self.coords, target)
 
     def stress(self) -> float:
@@ -204,6 +285,113 @@ class StateSpace:
             return 0.0
         target = pairwise_distances(self.representatives.points)
         return normalized_stress(self.coords, target)
+
+    # -- geometry cache ----------------------------------------------------
+    def invalidate_geometry(self) -> None:
+        """Drop the cached :class:`ViolationGeometry`.
+
+        Called automatically on the three mutation events that change
+        the violation-range geometry:
+
+        * a new representative is placed (:meth:`add_sample` with a
+          fresh epsilon-ball): the safe set, the coordinate ranges and
+          therefore every radius may change;
+        * a sticky relabel to VIOLATION (:meth:`add_sample` observing a
+          violation on a previously safe state);
+        * a SMACOF refit (:meth:`refit`) or a checkpoint/template
+          restore rewriting ``coords`` wholesale.
+
+        External code that mutates ``coords`` / ``labels`` directly
+        (checkpoint restore, template loading) must call this
+        explicitly — that is the cache contract.
+        """
+        if self._geometry is not None:
+            self._geometry = None
+            self._geometry_invalidations += 1
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "geometry.invalidations",
+                    help="violation-geometry cache drops (mutation events)",
+                ).inc()
+
+    def geometry(self) -> ViolationGeometry:
+        """The current violation-range geometry, cached until dirtied.
+
+        Rebuilds materialize the violation centers, the Rayleigh scale
+        and all radii in one broadcasted distance pass; when telemetry
+        is attached the rebuild is timed into ``geometry.rebuild_seconds``
+        and cache hits/rebuilds are counted.
+        """
+        cached = self._geometry
+        if cached is not None and cached.n_states == len(self):
+            self._geometry_hits += 1
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "geometry.cache_hits",
+                    help="violation-geometry lookups served from cache",
+                ).inc()
+            return cached
+        if self.telemetry is not None:
+            with self.telemetry.stage("geometry.rebuild"):
+                geometry = self._build_geometry()
+            self.telemetry.counter(
+                "geometry.rebuilds", help="violation-geometry cache rebuilds"
+            ).inc()
+        else:
+            geometry = self._build_geometry()
+        self._geometry = geometry
+        self._geometry_rebuilds += 1
+        return geometry
+
+    def _build_geometry(self) -> ViolationGeometry:
+        """Materialize centers, scale and radii for the current map.
+
+        The arithmetic mirrors the scalar reference path operation for
+        operation (same subtract/square/sum/sqrt/exp sequence), so the
+        vectorized votes are bit-identical to the scalar ones.
+        """
+        violations = self.violation_indices
+        c = self.coordinate_scale()
+        if violations.size == 0:
+            return ViolationGeometry(
+                n_states=len(self),
+                scale=c,
+                violation_indices=violations,
+                centers=np.empty((0, 2)),
+                radii=np.empty(0),
+            )
+        centers = self.coords[violations].copy()
+        if self.radius_law == "fixed":
+            radii = np.full(violations.size, float(self.fixed_radius))
+        else:
+            safe = self.safe_indices
+            if safe.size == 0:
+                # No safe knowledge at all: fall back to the Rayleigh
+                # peak radius so unexplored space is treated cautiously.
+                fallback = c * float(np.exp(-0.5)) if c > 0 else 0.0
+                radii = np.full(violations.size, fallback)
+            elif c <= 0:
+                radii = np.zeros(violations.size)
+            else:
+                nearest_safe = cross_distances(centers, self.coords[safe]).min(axis=1)
+                radii = nearest_safe * np.exp(
+                    -(nearest_safe * nearest_safe) / (2.0 * c * c)
+                )
+        return ViolationGeometry(
+            n_states=len(self),
+            scale=c,
+            violation_indices=violations,
+            centers=centers,
+            radii=radii,
+        )
+
+    def geometry_stats(self) -> Dict[str, int]:
+        """Cache accounting: hits, rebuilds and invalidations so far."""
+        return {
+            "cache_hits": self._geometry_hits,
+            "rebuilds": self._geometry_rebuilds,
+            "invalidations": self._geometry_invalidations,
+        }
 
     # -- violation-range geometry ------------------------------------------
     def nearest_safe_distance(self, point: np.ndarray) -> float:
@@ -218,7 +406,7 @@ class StateSpace:
         return float(distances.min())
 
     def _radius_for(self, index: int, c: float) -> float:
-        """Violation-range radius for one violation-state."""
+        """Violation-range radius for one violation-state (scalar path)."""
         if self.radius_law == "fixed":
             return self.fixed_radius
         d = self.nearest_safe_distance(self.coords[index])
@@ -230,11 +418,7 @@ class StateSpace:
 
     def violation_ranges(self) -> List[Tuple[np.ndarray, float]]:
         """``(center, radius)`` for every violation-state's range disc."""
-        c = self.coordinate_scale()
-        return [
-            (self.coords[index].copy(), float(self._radius_for(index, c)))
-            for index in self.violation_indices
-        ]
+        return self.geometry().ranges()
 
     def in_violation_range(self, point: np.ndarray) -> bool:
         """True when ``point`` lies inside any violation-range disc.
@@ -243,13 +427,37 @@ class StateSpace:
         when the computed radius is 0 (an exactly revisited violation
         state is, by definition, a violation).
         """
+        return self.geometry().contains(np.asarray(point, dtype=float))
+
+    def violation_vote(self, candidates: np.ndarray) -> int:
+        """How many candidate points fall inside a violation-range."""
+        candidates = np.asarray(candidates, dtype=float)
+        if candidates.ndim != 2 or candidates.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) candidates, got {candidates.shape}")
+        return self.geometry().vote(candidates)
+
+    # -- scalar reference implementations ----------------------------------
+    # Retained verbatim from the pre-vectorization code path: the
+    # equivalence suite (tests/unit/test_geometry.py and
+    # tests/property/test_prop_geometry.py) and bench_geometry.py prove
+    # the cached vectorized path gives identical votes.
+    def violation_ranges_scalar(self) -> List[Tuple[np.ndarray, float]]:
+        """Reference ``(center, radius)`` list, one radius at a time."""
+        c = self.coordinate_scale()
+        return [
+            (self.coords[index].copy(), float(self._radius_for(index, c)))
+            for index in self.violation_indices
+        ]
+
+    def in_violation_range_scalar(self, point: np.ndarray) -> bool:
+        """Reference membership test recomputing radii per call."""
         point = np.asarray(point, dtype=float)
         violations = self.violation_indices
         if violations.size == 0:
             return False
         centers = self.coords[violations]
         distances = point_distances(point, centers)
-        if np.any(distances <= 1e-12):
+        if np.any(distances <= CENTER_EPSILON):
             return True
         c = self.coordinate_scale()
         for center_distance, index in zip(distances, violations):
@@ -257,9 +465,11 @@ class StateSpace:
                 return True
         return False
 
-    def violation_vote(self, candidates: np.ndarray) -> int:
-        """How many candidate points fall inside a violation-range."""
+    def violation_vote_scalar(self, candidates: np.ndarray) -> int:
+        """Reference vote: one full membership scan per candidate."""
         candidates = np.asarray(candidates, dtype=float)
         if candidates.ndim != 2 or candidates.shape[1] != 2:
             raise ValueError(f"expected (n, 2) candidates, got {candidates.shape}")
-        return sum(1 for candidate in candidates if self.in_violation_range(candidate))
+        return sum(
+            1 for candidate in candidates if self.in_violation_range_scalar(candidate)
+        )

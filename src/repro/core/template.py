@@ -109,6 +109,9 @@ class MapTemplate:
                 )
             space.labels.append(label)
         space.coords = self.coords.copy()
+        # Labels/coords were written directly (not via add_sample), so
+        # honor the geometry-cache contract explicitly.
+        space.invalidate_geometry()
         return space
 
     # -- serialization ----------------------------------------------------------

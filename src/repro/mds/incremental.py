@@ -56,11 +56,24 @@ def place_point(
         raise ValueError(f"expected {n} deltas, got shape {deltas.shape}")
     if np.any(deltas < 0):
         raise ValueError("target distances must be non-negative")
+    dim = anchors.shape[1] if anchors.shape[1] else 2
     if n == 0:
-        return np.zeros(2)
+        if init is not None:
+            return np.array(init, dtype=float, copy=True)
+        return np.zeros(dim)
     if n == 1:
-        # Any point at distance delta works; pick along +x for determinism.
-        return anchors[0] + np.array([deltas[0], 0.0])
+        # Any point at distance delta from the anchor works. Honor the
+        # caller's init by placing along the anchor->init direction;
+        # fall back to +x for determinism when init is absent or
+        # coincides with the anchor.
+        direction = np.zeros(dim)
+        direction[0] = 1.0
+        if init is not None:
+            offset = np.asarray(init, dtype=float) - anchors[0]
+            norm = float(np.linalg.norm(offset))
+            if norm > 1e-12:
+                direction = offset / norm
+        return anchors[0] + deltas[0] * direction
 
     if init is not None:
         starts = [np.array(init, dtype=float, copy=True)]
@@ -212,7 +225,11 @@ def procrustes_align(
             f"shape mismatch: reference {reference.shape} vs config {config.shape}"
         )
     if reference.size == 0:
-        return config.copy(), np.eye(config.shape[1] if config.ndim == 2 else 2), np.zeros(2)
+        # Identity transform in the *actual* dimensionality: an empty
+        # (0, d) configuration still has d columns, and callers compose
+        # the returned rotation/translation with d-dimensional data.
+        dim = config.shape[1] if config.ndim == 2 else config.shape[0]
+        return config.copy(), np.eye(dim), np.zeros(dim)
 
     mu_ref = reference.mean(axis=0)
     mu_cfg = config.mean(axis=0)

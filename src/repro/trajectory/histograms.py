@@ -68,12 +68,19 @@ class Histogram:
         return cdf
 
     def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
-        """Inverse-transform samples: uniform u -> bin via CDF -> uniform within bin."""
+        """Inverse-transform samples: uniform u -> bin via CDF -> uniform within bin.
+
+        The bin lookup uses ``side="right"``: ``u`` maps to the first
+        bin whose cumulative mass strictly exceeds it. With ``"left"``,
+        ``u == 0.0`` (reachable — ``rng.uniform`` draws from the
+        half-open ``[0, 1)``) and any ``u`` landing exactly on a CDF
+        plateau selected a zero-mass bin.
+        """
         if n < 1:
             raise ValueError("n must be >= 1")
         cdf = self.cdf()
         u = rng.uniform(0.0, 1.0, size=n)
-        indices = np.searchsorted(cdf, u, side="left")
+        indices = np.searchsorted(cdf, u, side="right")
         indices = np.clip(indices, 0, self.bins - 1)
         left = self.edges[indices]
         right = self.edges[indices + 1]

@@ -145,3 +145,29 @@ class TestRestore:
         fresh = StayAway(sensitive, config=StayAwayConfig(seed=9))
         with pytest.raises(CheckpointError, match="inconsistent"):
             checkpoint.restore_into(fresh)
+
+    def test_restore_yields_fresh_violation_geometry(self, tmp_path):
+        # The restored space's coords/labels were written behind the
+        # geometry cache; the first vote after a restore must be built
+        # from the restored map, identical to the scalar reference.
+        controller, sensitive, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        fresh = StayAway(sensitive, config=StayAwayConfig(seed=9))
+        restore_checkpoint(fresh, path)
+        space = fresh.state_space
+        assert space.geometry_stats()["rebuilds"] == 0
+        rng = np.random.default_rng(0)
+        candidates = rng.uniform(-0.5, 1.5, size=(20, 2))
+        assert space.violation_vote(candidates) == space.violation_vote_scalar(
+            candidates
+        )
+        geometry = space.geometry()
+        assert geometry.n_states == len(space)
+        assert geometry.n_violations == int(space.violation_indices.size)
+
+    def test_restore_carries_telemetry_into_state_space(self, tmp_path):
+        controller, sensitive, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        fresh = StayAway(sensitive, config=StayAwayConfig(seed=9))
+        restore_checkpoint(fresh, path)
+        assert fresh.state_space.telemetry is fresh.telemetry

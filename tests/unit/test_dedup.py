@@ -99,3 +99,81 @@ class TestRepresentativeSet:
         for i in range(len(reps)):
             for j in range(i + 1, len(reps)):
                 assert np.linalg.norm(points[i] - points[j]) > 0.2
+
+
+class TestGridIndex:
+    """The epsilon-cell merge index must be invisible to callers: same
+    merges, same winners, same tie-breaks as the full linear scan."""
+
+    @staticmethod
+    def brute_force_assign(points, epsilon, sample):
+        """The pre-grid behavior: global nearest, merge when <= epsilon."""
+        if points:
+            distances = np.linalg.norm(np.vstack(points) - sample, axis=1)
+            index = int(np.argmin(distances))
+            if distances[index] <= epsilon:
+                return index, False
+        points.append(sample.copy())
+        return len(points) - 1, True
+
+    @pytest.mark.parametrize("dim", [1, 2, 3, 4, 7])
+    @pytest.mark.parametrize("epsilon", [0.02, 0.08, 0.25])
+    def test_assign_matches_linear_scan(self, dim, epsilon):
+        rng = np.random.default_rng(dim * 17 + int(epsilon * 100))
+        reps = RepresentativeSet(epsilon=epsilon)
+        reference_points = []
+        for _ in range(300):
+            # Two decimals force frequent near-duplicates and exact ties.
+            sample = np.round(rng.uniform(0, 1, size=dim), 2)
+            got = reps.assign(sample)
+            expected = self.brute_force_assign(reference_points, epsilon, sample)
+            assert got == expected
+
+    def test_grid_prunes_the_scan(self):
+        rng = np.random.default_rng(3)
+        reps = RepresentativeSet(epsilon=0.05)
+        for _ in range(500):
+            reps.assign(rng.uniform(0, 1, size=4))
+        stats = reps.grid_stats()
+        assert stats["queries"] > 0
+        # Far fewer candidates tested than a full scan would have.
+        assert stats["mean_candidates"] < len(reps) / 4
+
+    def test_negative_coordinates_supported(self):
+        reps = RepresentativeSet(epsilon=0.1)
+        reps.assign(np.array([-0.95, -0.95]))
+        index, is_new = reps.assign(np.array([-1.0, -1.0]))
+        assert index == 0 and not is_new
+
+    def test_invalidate_index_after_external_replacement(self):
+        # Checkpoint restore replaces _points wholesale (same count!)
+        # and must call invalidate_index(); the grid is rebuilt from
+        # the new points, not silently trusted.
+        reps = RepresentativeSet(epsilon=0.1)
+        reps.assign(np.array([0.0, 0.0]))
+        reps.assign(np.array([1.0, 1.0]))
+        reps._points = [np.array([5.0, 5.0]), np.array([6.0, 6.0])]
+        reps.invalidate_index()
+        index, is_new = reps.assign(np.array([5.05, 5.0]))
+        assert index == 0 and not is_new
+        index, is_new = reps.assign(np.array([0.0, 0.0]))
+        assert is_new  # the old origin point is gone
+
+    def test_count_growth_detected_without_hook(self):
+        # Defense-in-depth: appending behind the grid's back is caught
+        # by the indexed-count staleness check.
+        reps = RepresentativeSet(epsilon=0.1)
+        reps.assign(np.array([0.0, 0.0]))
+        reps.assign(np.array([1.0, 1.0]))
+        reps._points.append(np.array([5.0, 5.0]))
+        reps._counts.append(1)
+        reps._matrix = None
+        index, is_new = reps.assign(np.array([5.05, 5.0]))
+        assert index == 2 and not is_new
+
+    def test_epsilon_zero_uses_exact_scan(self):
+        reps = RepresentativeSet(epsilon=0.0)
+        reps.assign(np.array([0.25]))
+        _, merged_new = reps.assign(np.array([0.25]))
+        assert not merged_new
+        assert reps.grid_stats()["queries"] == 0

@@ -1,0 +1,176 @@
+"""Unit tests for the cached, vectorized violation-range geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.state_space import StateLabel, StateSpace, ViolationGeometry
+from repro.telemetry import Telemetry
+
+
+def grow_space(samples, violations=frozenset(), epsilon=0.05, **kwargs):
+    space = StateSpace(epsilon=epsilon, refit_interval=1000, **kwargs)
+    for i, sample in enumerate(samples):
+        space.add_sample(np.asarray(sample, float), violated=i in violations)
+    return space
+
+
+def random_space(seed, n=60, dim=4, violation_every=5, refit_interval=1000):
+    rng = np.random.default_rng(seed)
+    space = StateSpace(epsilon=0.03, refit_interval=refit_interval)
+    for i in range(n):
+        violated = violation_every is not None and i % violation_every == 0
+        space.add_sample(rng.uniform(0, 1, dim), violated=violated)
+    return space, rng
+
+
+def assert_equivalent(space, candidates):
+    """Vectorized and scalar paths must agree on every geometry query."""
+    assert space.violation_vote(candidates) == space.violation_vote_scalar(candidates)
+    for point in candidates:
+        assert space.in_violation_range(point) == space.in_violation_range_scalar(
+            point
+        )
+    vectorized = space.violation_ranges()
+    scalar = space.violation_ranges_scalar()
+    assert len(vectorized) == len(scalar)
+    for (center_v, radius_v), (center_s, radius_s) in zip(vectorized, scalar):
+        assert np.array_equal(center_v, center_s)
+        assert radius_v == radius_s
+
+
+class TestEquivalence:
+    def test_random_space_votes_identical(self):
+        space, rng = random_space(seed=11)
+        assert_equivalent(space, rng.uniform(-0.5, 1.5, size=(40, 2)))
+
+    def test_all_safe_space(self):
+        space, rng = random_space(seed=12, violation_every=None)
+        assert space.violation_indices.size == 0
+        candidates = rng.uniform(-1, 1, size=(10, 2))
+        assert space.violation_vote(candidates) == 0
+        assert_equivalent(space, candidates)
+
+    def test_all_violation_space(self):
+        space, rng = random_space(seed=13, violation_every=1)
+        assert space.safe_indices.size == 0
+        assert_equivalent(space, rng.uniform(-0.5, 1.5, size=(20, 2)))
+        # Fallback (Rayleigh-peak) radii are positive on a spread map.
+        for _, radius in space.violation_ranges():
+            assert radius > 0
+
+    def test_fixed_radius_law(self):
+        space, rng = random_space(seed=14)
+        space.radius_law = "fixed"
+        space.fixed_radius = 0.07
+        space.invalidate_geometry()
+        assert_equivalent(space, rng.uniform(-0.5, 1.5, size=(25, 2)))
+        for _, radius in space.violation_ranges():
+            assert radius == pytest.approx(0.07)
+
+    def test_post_refit_equivalence(self):
+        space, rng = random_space(seed=15, refit_interval=20)
+        assert space.refit_count >= 1
+        space.refit()
+        assert_equivalent(space, rng.uniform(-0.5, 1.5, size=(30, 2)))
+
+    def test_center_always_inside_own_range(self):
+        space, _ = random_space(seed=16)
+        for index in space.violation_indices:
+            assert space.in_violation_range(space.coords[index])
+            assert space.in_violation_range_scalar(space.coords[index])
+
+    def test_degenerate_single_state(self):
+        space = grow_space([[0.4, 0.4]], violations={0})
+        # Scale is 0 (fewer than 2 states) -> radius 0, center still hit.
+        assert space.in_violation_range(space.coords[0])
+        assert not space.in_violation_range(np.array([5.0, 5.0]))
+        assert_equivalent(space, np.vstack([space.coords[0], [5.0, 5.0]]))
+
+
+class TestCache:
+    def test_repeated_votes_hit_cache(self):
+        space, rng = random_space(seed=21)
+        candidates = rng.uniform(0, 1, size=(5, 2))
+        space.violation_vote(candidates)
+        rebuilds_after_first = space.geometry_stats()["rebuilds"]
+        for _ in range(10):
+            space.violation_vote(candidates)
+        stats = space.geometry_stats()
+        assert stats["rebuilds"] == rebuilds_after_first
+        assert stats["cache_hits"] >= 10
+
+    def test_geometry_snapshot_is_consistent(self):
+        space, _ = random_space(seed=22)
+        geometry = space.geometry()
+        assert isinstance(geometry, ViolationGeometry)
+        assert geometry.n_states == len(space)
+        assert geometry.centers.shape == (geometry.n_violations, 2)
+        assert geometry.radii.shape == (geometry.n_violations,)
+        assert geometry.scale == space.coordinate_scale()
+
+    def test_new_representative_invalidates(self):
+        space, rng = random_space(seed=23)
+        space.geometry()
+        space.add_sample(rng.uniform(2, 3, 4), violated=False)
+        stats = space.geometry_stats()
+        assert stats["invalidations"] >= 1
+        assert space.geometry().n_states == len(space)
+
+    def test_sticky_relabel_after_merge_changes_next_vote(self):
+        # A candidate sitting exactly on a safe state votes 0; after the
+        # same high-dim sample merges back in with a violation report,
+        # the relabel must invalidate the cache and flip the vote.
+        space = grow_space(
+            [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0], [0.0, 1.0, 0.0]],
+            violations={1},
+            epsilon=0.01,
+        )
+        target = space.safe_indices[0]
+        candidates = space.coords[target][None, :]
+        assert space.violation_vote(candidates) == 0
+        space.add_sample(space.representatives.points[target], violated=True)
+        assert space.labels[target] is StateLabel.VIOLATION
+        assert space.violation_vote(candidates) == 1
+        assert space.violation_vote_scalar(candidates) == 1
+
+    def test_refit_invalidates(self):
+        space, _ = random_space(seed=24)
+        space.geometry()
+        before = space.geometry_stats()["invalidations"]
+        space.refit()
+        assert space.geometry_stats()["invalidations"] == before + 1
+
+    def test_stale_size_rebuilds_even_without_invalidate(self):
+        # Defense in depth: external code appending states without
+        # honoring the contract still gets a fresh geometry.
+        space, _ = random_space(seed=25)
+        space.geometry()
+        space.coords = np.vstack([space.coords, [[9.0, 9.0]]])
+        space.labels.append(StateLabel.VIOLATION)
+        geometry = space.geometry()
+        assert geometry.n_states == len(space)
+        assert 9.0 in geometry.centers[:, 0]
+
+
+class TestTelemetryWiring:
+    def test_counters_and_stage_timer(self):
+        telemetry = Telemetry(enabled=True)
+        space, rng = random_space(seed=31)
+        space.telemetry = telemetry
+        space.invalidate_geometry()
+        candidates = rng.uniform(0, 1, size=(5, 2))
+        space.violation_vote(candidates)
+        space.violation_vote(candidates)
+        assert telemetry.counter("geometry.rebuilds").value == 1
+        assert telemetry.counter("geometry.cache_hits").value >= 1
+        rebuild = telemetry.histogram("geometry.rebuild_seconds")
+        assert rebuild.count == 1
+        space.add_sample(rng.uniform(2, 3, 4), violated=True)
+        assert telemetry.counter("geometry.invalidations").value >= 1
+
+    def test_counters_live_without_telemetry(self):
+        space, rng = random_space(seed=32)
+        assert space.telemetry is None
+        space.violation_vote(rng.uniform(0, 1, size=(5, 2)))
+        stats = space.geometry_stats()
+        assert stats["rebuilds"] >= 1

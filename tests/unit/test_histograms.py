@@ -142,3 +142,56 @@ class TestEmpiricalDistribution:
         dist.add(2.0)
         dist.add(4.0)
         assert dist.mean() == pytest.approx(3.0)
+
+
+class FixedUniformRng:
+    """Test double: ``uniform`` replays a fixed sequence of values."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def uniform(self, low, high, size=1):
+        out = np.asarray(self._values[:size], dtype=float)
+        self._values = self._values[size:]
+        return out
+
+
+class TestInverseTransformEdgeCases:
+    """Regressions for the ``searchsorted`` side fix.
+
+    With ``side="left"``, ``u == 0.0`` (reachable: ``rng.uniform`` is
+    half-open ``[0, 1)``) and exact CDF-plateau hits selected zero-mass
+    bins.
+    """
+
+    def test_u_zero_never_selects_empty_leading_bin(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        hist.add(0.6)  # all mass in bin 2; bins 0-1 are empty
+        fake = FixedUniformRng([0.0, 0.3])  # u == 0.0, then the within-bin draw
+        sample = hist.sample(fake, 1)
+        assert hist.bin_of(float(sample[0])) == 2
+
+    def test_cdf_plateau_hit_never_selects_empty_middle_bin(self):
+        hist = Histogram(0.0, 1.0, bins=4)
+        hist.add(0.1)  # bin 0: mass 0.5 -> cdf [0.5, 0.5, 1.0, 1.0]
+        hist.add(0.6)  # bin 2: mass 0.5; bin 1 is an empty plateau bin
+        fake = FixedUniformRng([0.5, 0.3])  # u lands exactly on the plateau
+        sample = hist.sample(fake, 1)
+        assert hist.bin_of(float(sample[0])) == 2
+
+    def test_empty_bins_never_sampled(self, rng):
+        hist = Histogram(0.0, 1.0, bins=5)
+        for _ in range(40):
+            hist.add(0.3)  # bin 1
+        for _ in range(60):
+            hist.add(0.9)  # bin 4
+        samples = hist.sample(rng, 3000)
+        bins = {hist.bin_of(float(value)) for value in samples}
+        assert bins <= {1, 4}
+
+    def test_u_just_below_one_stays_in_last_nonempty_bin(self):
+        hist = Histogram(0.0, 1.0, bins=3)
+        hist.add(0.5)  # bin 1 only; bin 2 empty
+        fake = FixedUniformRng([np.nextafter(1.0, 0.0), 0.5])
+        sample = hist.sample(fake, 1)
+        assert hist.bin_of(float(sample[0])) == 1

@@ -97,3 +97,53 @@ class TestProcrustes:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             procrustes_align(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_empty_inputs_honor_dimensionality(self):
+        # Regression: the empty branch hard-coded np.zeros(2) and a
+        # 2-guessing identity regardless of the actual column count.
+        for dim in (1, 2, 3, 5):
+            aligned, rotation, translation = procrustes_align(
+                np.empty((0, dim)), np.empty((0, dim))
+            )
+            assert aligned.shape == (0, dim)
+            np.testing.assert_array_equal(rotation, np.eye(dim))
+            np.testing.assert_array_equal(translation, np.zeros(dim))
+
+    def test_empty_transform_composes_with_full_dim_data(self):
+        _, rotation, translation = procrustes_align(
+            np.empty((0, 3)), np.empty((0, 3))
+        )
+        point = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(point @ rotation + translation, point)
+
+
+class TestPlacePointEdgeCases:
+    def test_no_anchors_honors_init(self):
+        # Regression: init was silently ignored for tiny anchor sets.
+        init = np.array([3.0, -1.0])
+        np.testing.assert_allclose(
+            place_point(np.empty((0, 2)), np.empty(0), init=init), init
+        )
+
+    def test_no_anchors_honors_dimension(self):
+        placed = place_point(np.empty((0, 3)), np.empty(0))
+        np.testing.assert_allclose(placed, np.zeros(3))
+
+    def test_single_anchor_honors_init_direction(self):
+        anchor = np.array([[1.0, 1.0]])
+        deltas = np.array([2.0])
+        init = np.array([1.0, 5.0])  # straight up from the anchor
+        placed = place_point(anchor, deltas, init=init)
+        np.testing.assert_allclose(placed, np.array([1.0, 3.0]), atol=1e-12)
+        # Distance constraint holds exactly.
+        assert np.linalg.norm(placed - anchor[0]) == pytest.approx(2.0)
+
+    def test_single_anchor_init_on_anchor_falls_back(self):
+        anchor = np.array([[1.0, 1.0]])
+        placed = place_point(anchor, np.array([2.0]), init=np.array([1.0, 1.0]))
+        np.testing.assert_allclose(placed, np.array([3.0, 1.0]))
+
+    def test_single_anchor_default_unchanged(self):
+        # Without init the legacy deterministic +x placement remains.
+        placed = place_point(np.array([[1.0, 1.0]]), np.array([2.0]))
+        np.testing.assert_allclose(placed, np.array([3.0, 1.0]))

@@ -139,3 +139,71 @@ class TestAccuracyLedger:
         predictor = Predictor(StayAwayConfig())
         assert predictor.outcome_accuracy() == 0.0
         assert predictor.position_accuracy() == 0.0
+
+
+class FixedVoteSpace:
+    """Test double: a state space whose vote count is dialed in."""
+
+    def __init__(self, votes):
+        self.votes = votes
+
+    def violation_vote(self, candidates):
+        return self.votes
+
+
+def ready_predictor(majority, n_samples=5):
+    config = StayAwayConfig(majority=majority, n_samples=n_samples, seed=1)
+    predictor = Predictor(config)
+    space = make_space_with_violation()
+    feed_straight_walk(
+        predictor, space, ExecutionMode.COLOCATED,
+        start=[0.0, 0.0], step=[0.01, 0.0], n=6,
+    )
+    return predictor
+
+
+class TestVoteThreshold:
+    """Regression: the strict ``votes > majority * n_samples`` test made
+    unanimity (majority=1.0) unsatisfiable — with 5 samples it demanded
+    more than 5 votes. The ceil-based threshold keeps every configured
+    majority reachable."""
+
+    @pytest.mark.parametrize(
+        "majority,n_samples,expected",
+        [
+            (0.5, 5, 3),
+            (0.6, 5, 3),
+            (1.0, 5, 5),
+            (0.5, 4, 2),
+            (1.0, 1, 1),
+            (0.01, 5, 1),
+        ],
+    )
+    def test_config_vote_threshold(self, majority, n_samples, expected):
+        config = StayAwayConfig(majority=majority, n_samples=n_samples)
+        assert config.vote_threshold() == expected
+
+    @pytest.mark.parametrize("majority", [0.5, 0.6, 1.0])
+    def test_flag_exactly_at_threshold(self, majority):
+        predictor = ready_predictor(majority)
+        threshold = predictor.config.vote_threshold()
+        below = predictor.predict(
+            100, ExecutionMode.COLOCATED, np.zeros(2), FixedVoteSpace(threshold - 1)
+        )
+        assert not below.impending_violation
+        at = predictor.predict(
+            101, ExecutionMode.COLOCATED, np.zeros(2), FixedVoteSpace(threshold)
+        )
+        assert at.impending_violation
+
+    def test_unanimity_is_reachable(self):
+        predictor = ready_predictor(majority=1.0, n_samples=5)
+        prediction = predictor.predict(
+            100, ExecutionMode.COLOCATED, np.zeros(2), FixedVoteSpace(5)
+        )
+        assert prediction.impending_violation
+
+    def test_default_majority_unchanged(self):
+        # The paper's configuration (majority of 5 samples) still needs
+        # 3 votes, exactly as the strict comparison did.
+        assert StayAwayConfig().vote_threshold() == 3
