@@ -1,19 +1,42 @@
-"""Robustness — chaos mix: resilience layer on vs off, identical faults.
+"""Robustness — chaos mixes: protection layers on vs off, identical faults.
 
-Not a paper figure: this bench guards the PR-1 resilience layer. The
-same seeded fault cocktail — sensor corruption, QoS-report dropout,
-flapping batch containers, lossy actuators, demand spikes — is replayed
-against two otherwise-identical Stay-Away controllers: one with the
-resilience layer (sensor guard + degraded modes + reconciliation), one
-with it disabled. The unguarded controller typically dies on the first
-NaN measurement and leaves the sensitive application unprotected; the
-resilient one must survive the entire run with zero invariant breaches
-and a strictly lower violation ratio.
+Not a paper figure: this bench guards the robustness layers. Two
+campaigns, each replaying an identical seeded fault script against two
+otherwise-identical Stay-Away controllers:
+
+* **Environment chaos** (PR-1 resilience layer): sensor corruption,
+  QoS-report dropout, flapping batch containers, lossy actuators,
+  demand spikes — resilience (sensor guard + degraded modes +
+  reconciliation) on vs off. The unguarded controller typically dies on
+  the first NaN measurement.
+* **Recovery drill** (fault containment): controller-internal faults —
+  stages raising on schedule (:class:`StageExceptionInjector`) and
+  silent model poisoning (:class:`ModelPoisoner`) — containment
+  (exception firewall + circuit breakers + model-health watchdog) on vs
+  off. The uncontained controller crashes on the first stage exception;
+  the contained one must survive the whole run, trip and recover its
+  breakers, and sustain a strictly lower sensitive-app QoS violation
+  ratio. Results land in ``BENCH_fault_containment.json``.
+
+``python -m benchmarks.bench_robustness_chaos`` runs the recovery drill
+standalone (the CI chaos-smoke step uses a fast profile).
 """
 
+import argparse
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
 from benchmarks.helpers import STANDARD_TICKS, banner
-from repro.experiments.chaos import ChaosMix, run_chaos_comparison
+from repro.experiments.chaos import (
+    ChaosMix,
+    ContainmentMix,
+    run_chaos_comparison,
+    run_recovery_comparison,
+)
 from repro.experiments.scenarios import Scenario
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_fault_containment.json"
 
 
 def run_experiment():
@@ -72,3 +95,162 @@ def test_robustness_chaos(benchmark, capsys):
     guard_summary = resilient.controller.guard.summary()
     assert guard_summary["rejected"] > 0
     assert guard_summary["imputed"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Recovery drill: fault containment on vs off
+# ---------------------------------------------------------------------------
+
+def run_recovery_experiment(
+    ticks: int = STANDARD_TICKS, out: Optional[str] = None
+) -> Dict[str, object]:
+    """Run the containment recovery drill and write the BENCH json.
+
+    The fault script mixes a scripted mapping-stage outage (long enough
+    to trip the breaker and let it recover) with probabilistic stage
+    exceptions and model poisonings, all pure functions of (seed, tick)
+    so both policy variants face identical faults.
+    """
+    scenario = Scenario(
+        sensitive="vlc-streaming",
+        batches=("cpubomb",),
+        ticks=ticks,
+        seed=1,
+    )
+    outage = (ticks // 4, ticks // 4 + 60, "map")
+    mix = ContainmentMix(
+        seed=7,
+        stage_fault=0.03,
+        stages=("map", "predict"),
+        fault_windows=(outage,),
+        poison=0.03,
+    )
+    comparison = run_recovery_comparison(scenario, mix=mix)
+    contained = comparison.contained.summary()
+    uncontained = comparison.uncontained.summary()
+    report = {
+        "bench": "fault_containment",
+        "ticks": ticks,
+        "mix": {
+            "seed": mix.seed,
+            "stage_fault": mix.stage_fault,
+            "stages": list(mix.stages),
+            "fault_windows": [list(window) for window in mix.fault_windows],
+            "poison": mix.poison,
+        },
+        "contained": {
+            "violation_ratio": contained["violation_ratio"],
+            "crashed_at": contained["crashed_at"],
+            "faults": contained["faults"],
+            "containment": contained["containment"],
+            "recovery": contained["recovery"],
+            "invariants": contained["invariants"],
+        },
+        "uncontained": {
+            "violation_ratio": uncontained["violation_ratio"],
+            "crashed_at": uncontained["crashed_at"],
+            "crash": uncontained["crash"],
+            "faults": uncontained["faults"],
+        },
+        "improvement": comparison.improvement,
+        "passed": (
+            comparison.contained.crashed_at is None
+            and comparison.improvement > 0
+        ),
+    }
+    out_path = Path(out) if out is not None else DEFAULT_OUT
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    report["out"] = str(out_path)
+    report["comparison"] = comparison
+    return report
+
+
+def _print_recovery_report(report: Dict[str, object]) -> None:
+    contained = report["contained"]
+    uncontained = report["uncontained"]
+    print(banner("Robustness - recovery drill, fault containment on vs off"))
+    print(
+        f"faults injected: {contained['faults']['total']} (contained run), "
+        f"{uncontained['faults']['total']} (uncontained run)"
+    )
+    for label, side in (("contained", contained), ("uncontained", uncontained)):
+        crashed = (
+            "survived"
+            if side["crashed_at"] is None
+            else f"CRASHED at tick {side['crashed_at']}"
+        )
+        print(f"  {label:11s} violation ratio {side['violation_ratio']:.3f}  {crashed}")
+    crash = uncontained.get("crash")
+    if crash is not None:
+        print(f"  uncontained crash: {crash['error_type']} ({crash['fault']}) at {crash['trace']}")
+    containment = contained["containment"]
+    print(f"  firewall catches: {containment['firewall_catches']}")
+    for stage, breaker in containment["breakers"].items():
+        if breaker["trips"]:
+            print(
+                f"    breaker[{stage}]: {breaker['trips']} trips, "
+                f"{breaker['resets']} resets, mean recovery "
+                f"{breaker['mean_recovery_ticks']:.0f} ticks"
+            )
+    print(f"  watchdog: {containment['watchdog']}")
+    print(
+        f"  recovery: {contained['recovery']['recoveries']} completed, mean "
+        f"{contained['recovery']['mean_recovery_ticks']:.0f} ticks, max "
+        f"{contained['recovery']['max_recovery_ticks']} ticks"
+    )
+    print(f"  improvement: {report['improvement']:+.3f} violation ratio")
+    print(f"  report written to {report.get('out', DEFAULT_OUT)}")
+
+
+def test_recovery_drill(benchmark, capsys):
+    report = benchmark.pedantic(run_recovery_experiment, rounds=1, iterations=1)
+    comparison = report["comparison"]
+    contained = comparison.contained
+    uncontained = comparison.uncontained
+
+    with capsys.disabled():
+        print()
+        _print_recovery_report(report)
+
+    # A mid-run stage crash must never terminate the contained run...
+    assert contained.crashed_at is None
+    # ...while the identical script kills the uncontained controller.
+    assert uncontained.crashed_at is not None
+    assert uncontained.crash.fault is not None
+    # Containment sustains a strictly lower QoS violation ratio.
+    assert contained.violation_ratio() < uncontained.violation_ratio()
+    # The faults actually fired (the comparison is not vacuous) and the
+    # breakers completed at least one trip -> cooldown -> reset cycle.
+    assert len(contained.injector.fired) > 10
+    assert len(contained.poisoner.fired) > 0
+    assert contained.controller.breakers.total_trips > 0
+    assert len(contained.recovery_times()) > 0
+    # The watchdog found and healed real poisonings.
+    watchdog = contained.controller.watchdog.summary()
+    assert watchdog["violations"] > 0
+    assert watchdog["quarantines"] + watchdog["rollbacks"] > 0
+    # Contained bookkeeping stayed consistent throughout.
+    assert contained.checker.ok, contained.checker.summary()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Recovery drill: fault containment on vs off, identical faults"
+    )
+    parser.add_argument("--ticks", type=int, default=STANDARD_TICKS,
+                        help="run length in ticks per policy variant")
+    parser.add_argument("--out", default=None,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    report = run_recovery_experiment(ticks=args.ticks, out=args.out)
+    _print_recovery_report(report)
+    if not report["passed"]:
+        print("FAIL: containment did not beat the uncontained baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -128,6 +128,19 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             ["learned beta", f"{summary['beta']:.3f}"],
             ["prediction accuracy", f"{summary['outcome_accuracy']:.1%}"],
         ])
+        containment = summary["telemetry"].get("containment") or {}
+        if containment.get("enabled"):
+            breakers = containment.get("breakers") or {}
+            trips = sum(b["trips"] for b in breakers.values())
+            resets = sum(b["resets"] for b in breakers.values())
+            watchdog = containment.get("watchdog") or {}
+            rows.extend([
+                ["firewall catches", containment["firewall_catches"]],
+                ["breaker trips / resets", f"{trips} / {resets}"],
+                ["watchdog heals",
+                 f"{watchdog.get('quarantines', 0)} quarantine / "
+                 f"{watchdog.get('rollbacks', 0)} rollback"],
+            ])
     print(ascii_table(["metric", "value"], rows), file=out)
     _emit_telemetry(args, result, out)
     return 0

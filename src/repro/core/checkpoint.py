@@ -169,51 +169,11 @@ class ControllerCheckpoint:
             radius_law=config.radius_law,
             fixed_radius=config.fixed_radius,
         )
-        space.representatives._points = [
-            np.asarray(row, dtype=float) for row in ss["representatives"]
-        ]
-        space.representatives._counts = [int(c) for c in ss["counts"]]
-        space.representatives.invalidate_index()
-        if space.representatives._points:
-            space.representatives.dimension = space.representatives._points[0].shape[0]
-        space.coords = np.asarray(ss["coords"], dtype=float).reshape(-1, 2)
-        space.labels = [StateLabel(value) for value in ss["labels"]]
-        space.refit_count = int(ss["refit_count"])
-        space._new_since_refit = int(ss["new_since_refit"])
-        if len(space.labels) != len(space.representatives._points) or (
-            space.coords.shape[0] != len(space.labels)
-        ):
-            raise CheckpointError("inconsistent state-space payload")
-        # Coords/labels were rewritten wholesale behind the cache: any
-        # violation geometry materialized before this point is stale.
-        space.invalidate_geometry()
+        self._restore_state_space_into(space, ss)
         space.telemetry = controller.state_space.telemetry
         controller.state_space = space
 
-        # Per-mode trajectory models.
-        bank = controller.predictor.modes
-        for mode_value, state in data["modes"].items():
-            model = bank.models[ExecutionMode(mode_value)]
-            model.distances._samples.clear()
-            model.distances._samples.extend(float(v) for v in state["distances"])
-            model.angles._samples.clear()
-            model.angles._samples.extend(float(v) for v in state["angles"])
-            model.steps_observed = int(state["steps_observed"])
-            model._last_point = (
-                None
-                if state["last_point"] is None
-                else np.asarray(state["last_point"], dtype=float)
-            )
-        bank_state = data["mode_bank"]
-        bank._current_mode = (
-            None
-            if bank_state["current_mode"] is None
-            else ExecutionMode(bank_state["current_mode"])
-        )
-        bank.mode_switches = int(bank_state["mode_switches"])
-
-        # RNG streams.
-        controller.predictor.rng.bit_generator.state = data["predictor_rng"]
+        self._restore_learned_models(controller)
 
         # Throttle machine.
         ts = data["throttle"]
@@ -237,7 +197,86 @@ class ControllerCheckpoint:
         }
         throttle.rng.bit_generator.state = ts["rng"]
 
-        # Controller continuity.
+        controller.events.record(
+            int(data["captured_tick"]),
+            EventKind.CHECKPOINT_RESTORED,
+            states=len(space),
+            beta=throttle.beta,
+        )
+
+    def restore_models_into(self, controller) -> None:
+        """Roll a *running* controller's learned models back to this snapshot.
+
+        In-flight rollback for the model-health watchdog: the state
+        space is restored **in place** (every live reference — the
+        mapping pipeline, the template exporter — keeps seeing the same
+        object), and the per-mode trajectory models, the predictor RNG
+        stream and the controller's step-distance continuity are reset
+        to snapshot time. The throttle machine is deliberately left
+        alone: its pause-set reflects *actual* container states, which a
+        model rollback must not contradict.
+
+        The snapshot's representative dimensionality must match the
+        running space (same normalizer); a mismatch raises
+        :class:`CheckpointError`.
+        """
+        ss = self.payload["state_space"]
+        space = controller.state_space
+        if ss["representatives"] and len(space.representatives._points):
+            snap_dim = len(ss["representatives"][0])
+            if space.representatives.dimension not in (None, snap_dim):
+                raise CheckpointError(
+                    f"snapshot dimension {snap_dim} != live space "
+                    f"dimension {space.representatives.dimension}"
+                )
+        self._restore_state_space_into(space, ss)
+        self._restore_learned_models(controller)
+
+    def _restore_state_space_into(self, space: StateSpace, ss: Dict[str, Any]) -> None:
+        """Overwrite a state space's learned content with the payload's."""
+        space.representatives._points = [
+            np.asarray(row, dtype=float) for row in ss["representatives"]
+        ]
+        space.representatives._counts = [int(c) for c in ss["counts"]]
+        space.representatives.invalidate_index()
+        if space.representatives._points:
+            space.representatives.dimension = space.representatives._points[0].shape[0]
+        space.coords = np.asarray(ss["coords"], dtype=float).reshape(-1, 2)
+        space.labels = [StateLabel(value) for value in ss["labels"]]
+        space.refit_count = int(ss["refit_count"])
+        space._new_since_refit = int(ss["new_since_refit"])
+        if len(space.labels) != len(space.representatives._points) or (
+            space.coords.shape[0] != len(space.labels)
+        ):
+            raise CheckpointError("inconsistent state-space payload")
+        # Coords/labels were rewritten wholesale behind the cache: any
+        # violation geometry materialized before this point is stale.
+        space.invalidate_geometry()
+
+    def _restore_learned_models(self, controller) -> None:
+        """Restore mode models, predictor RNG and step continuity."""
+        data = self.payload
+        bank = controller.predictor.modes
+        for mode_value, state in data["modes"].items():
+            model = bank.models[ExecutionMode(mode_value)]
+            model.distances._samples.clear()
+            model.distances._samples.extend(float(v) for v in state["distances"])
+            model.angles._samples.clear()
+            model.angles._samples.extend(float(v) for v in state["angles"])
+            model.steps_observed = int(state["steps_observed"])
+            model._last_point = (
+                None
+                if state["last_point"] is None
+                else np.asarray(state["last_point"], dtype=float)
+            )
+        bank_state = data["mode_bank"]
+        bank._current_mode = (
+            None
+            if bank_state["current_mode"] is None
+            else ExecutionMode(bank_state["current_mode"])
+        )
+        bank.mode_switches = int(bank_state["mode_switches"])
+        controller.predictor.rng.bit_generator.state = data["predictor_rng"]
         cs = data["controller"]
         controller._prev_coords = (
             None
@@ -248,16 +287,14 @@ class ControllerCheckpoint:
             None if cs["prev_mode"] is None else ExecutionMode(cs["prev_mode"])
         )
 
-        controller.events.record(
-            int(data["captured_tick"]),
-            EventKind.CHECKPOINT_RESTORED,
-            states=len(space),
-            beta=throttle.beta,
-        )
-
     # -- serialization -----------------------------------------------------
     def save(self, path: Union[str, Path]) -> Path:
-        """Atomically write the checkpoint (tmp file + fsync + replace)."""
+        """Atomically write the checkpoint (tmp file + fsync + replace).
+
+        A failed write removes its temporary file and raises
+        :class:`CheckpointError`; the previous checkpoint at ``path``
+        is left intact either way.
+        """
         path = Path(path)
         envelope = {
             "format": FORMAT,
@@ -267,17 +304,31 @@ class ControllerCheckpoint:
         }
         tmp = path.with_name(path.name + ".tmp")
         data = json.dumps(envelope, indent=2)
-        with open(tmp, "w") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise CheckpointError(f"cannot write checkpoint {path}: {exc}") from exc
         return path
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "ControllerCheckpoint":
-        """Read and verify a checkpoint written by :meth:`save`."""
+        """Read and verify a checkpoint written by :meth:`save`.
+
+        Any stale ``<name>.tmp`` sibling left by a crash mid-save is
+        removed first: a completed :meth:`save` never leaves one behind
+        (``os.replace`` consumes it), so its existence means the write
+        it belonged to never finished.
+        """
         path = Path(path)
+        cleanup_stale_tmp(path)
         try:
             envelope = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
@@ -312,6 +363,25 @@ class ControllerCheckpoint:
         return float(self.payload["throttle"]["beta"])
 
 
+def cleanup_stale_tmp(path: Union[str, Path]) -> bool:
+    """Remove the abandoned ``<name>.tmp`` sibling of a checkpoint path.
+
+    Returns True when a stale temporary file was found and removed.
+    Safe to call any time: a finished :meth:`ControllerCheckpoint.save`
+    consumes its temporary via ``os.replace``, so whatever this finds is
+    the debris of a crash mid-save.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.unlink()
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+    return True
+
+
 def save_checkpoint(
     controller, path: Union[str, Path], tick: Optional[int] = None
 ) -> Path:
@@ -329,6 +399,7 @@ def restore_checkpoint(controller, path: Union[str, Path]) -> ControllerCheckpoi
 __all__ = [
     "CheckpointError",
     "ControllerCheckpoint",
+    "cleanup_stale_tmp",
     "restore_checkpoint",
     "save_checkpoint",
 ]

@@ -114,6 +114,36 @@ class StayAwayConfig:
         (the delta measured by ``benchmarks/bench_perf_overhead.py``).
     telemetry_max_spans:
         Retention cap for finished trace spans per controller.
+    fault_containment:
+        Wrap each controller stage (guard, map, predict, act) in an
+        exception firewall with a per-stage circuit breaker: a stage
+        failure degrades that period instead of crashing the run. Off,
+        a stage exception unwinds ``StayAway.on_tick`` — the behaviour
+        ``benchmarks/bench_robustness_chaos.py`` compares against.
+    breaker_error_budget:
+        Stage failures within ``breaker_window`` periods before the
+        stage's circuit breaker trips OPEN.
+    breaker_window:
+        Sliding error-budget window, in periods.
+    breaker_cooldown:
+        Periods an OPEN breaker holds before letting probes through
+        (HALF_OPEN).
+    breaker_probes:
+        Consecutive successful probes required to close a HALF_OPEN
+        breaker; one probe failure re-opens it for a fresh cooldown.
+    model_watchdog:
+        Check learned-state invariants every period (finite
+        coordinates/representatives, sane violation-range geometry,
+        finite step histograms, positive finite beta, stress
+        non-divergence) and heal violations by geometry rebuild,
+        representative quarantine or rollback to the last-known-good
+        snapshot.
+    watchdog_quarantine:
+        Allow the watchdog to remove (quarantine) individual poisoned
+        representatives; off, it always falls back to rollback.
+    snapshot_interval:
+        Periods between automatic last-known-good model snapshots
+        (taken only after a clean watchdog check).
     """
 
     period: int = 1
@@ -151,6 +181,14 @@ class StayAwayConfig:
     action_escalation_threshold: int = 3
     telemetry: bool = True
     telemetry_max_spans: int = 20_000
+    fault_containment: bool = True
+    breaker_error_budget: int = 3
+    breaker_window: int = 20
+    breaker_cooldown: int = 15
+    breaker_probes: int = 2
+    model_watchdog: bool = True
+    watchdog_quarantine: bool = True
+    snapshot_interval: int = 50
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -211,6 +249,16 @@ class StayAwayConfig:
             raise ValueError("action_backoff_cap must be >= 1")
         if self.action_escalation_threshold < 1:
             raise ValueError("action_escalation_threshold must be >= 1")
+        if self.breaker_error_budget < 1:
+            raise ValueError("breaker_error_budget must be >= 1")
+        if self.breaker_window < 1:
+            raise ValueError("breaker_window must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ValueError("breaker_cooldown must be >= 1")
+        if self.breaker_probes < 1:
+            raise ValueError("breaker_probes must be >= 1")
+        if self.snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
 
     def vote_threshold(self) -> int:
         """Votes needed to flag an impending violation.

@@ -15,9 +15,11 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from repro.core.action import ThrottleManager
+from repro.core.breakers import BreakerBank
 from repro.core.config import StayAwayConfig
 from repro.core.events import EventKind, EventLog
 from repro.core.mapping import MappingPipeline
+from repro.core.model_health import ModelHealthWatchdog
 from repro.core.prediction import Prediction, Predictor
 from repro.core.resilience import DegradedModeMachine
 from repro.core.state_space import StateLabel, StateSpace
@@ -32,6 +34,22 @@ from repro.trajectory.modes import ExecutionMode, classify_mode
 if TYPE_CHECKING:
     from repro.sim.host import Host, HostSnapshot
     from repro.workloads.base import Application
+
+
+class _StageOutcome:
+    """Sentinel for a stage that produced no result this period."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<stage {self.name}>"
+
+
+#: The stage raised and the firewall contained it.
+STAGE_FAILED = _StageOutcome("failed")
+#: The stage's circuit breaker is OPEN; it was skipped entirely.
+STAGE_OPEN = _StageOutcome("open")
 
 
 @dataclass(frozen=True)
@@ -153,10 +171,24 @@ class StayAway:
                 qos_deadline=self.config.qos_deadline,
                 resync_periods=self.config.resync_periods,
             )
+        self.breakers: Optional[BreakerBank] = None
+        if self.config.fault_containment:
+            self.breakers = BreakerBank(
+                self.config, self.events, registry=self.telemetry.registry
+            )
+        self.watchdog: Optional[ModelHealthWatchdog] = None
+        if self.config.model_watchdog:
+            self.watchdog = ModelHealthWatchdog(
+                self.config, self.events, telemetry=self.telemetry
+            )
         self._qos_reports_seen = 0
         self._prev_coords: Optional[np.ndarray] = None
         self._prev_mode: Optional[ExecutionMode] = None
         self.last_prediction: Optional[Prediction] = None
+        self._c_firewall = self.telemetry.counter(
+            "containment.firewall_catches",
+            help="stage exceptions contained by the firewall",
+        )
         self._c_periods = self.telemetry.counter(
             "controller.periods", help="controller periods executed"
         )
@@ -213,22 +245,14 @@ class StayAway:
 
         mode = self._classify_mode(host)
 
-        # 0b. Sensor guard: validate/impute the raw measurement.
-        raw = self.collector.latest.values
-        if self.guard is not None:
-            verdict = self.guard.inspect(tick, raw)
-            if not verdict.accepted:
-                self.events.record(
-                    tick,
-                    EventKind.SENSOR_REJECT,
-                    reasons=[reason.value for reason in verdict.reasons],
-                    imputed=verdict.imputed,
-                )
-            measurement = verdict.values
-            monitoring_ok = verdict.usable
+        # 0b. Sensor guard: validate/impute the raw measurement. A
+        #     guard failure blinds this period (treated as a gap), it
+        #     does not crash the run.
+        guarded = self._call_stage("guard", tick, self._stage_guard, tick)
+        if isinstance(guarded, _StageOutcome):
+            measurement, monitoring_ok = None, False
         else:
-            measurement = raw
-            monitoring_ok = True
+            measurement, monitoring_ok = guarded
 
         # 0c. Health state machine: degrade on silent channels,
         #     resynchronize before trusting predictions again.
@@ -240,46 +264,56 @@ class StayAway:
                 self.throttle.preemptive_pause(tick, host)
         predictive_allowed = self.health is None or self.health.predictive
 
-        if measurement is None:
-            # Monitoring gap: nothing to map. Stay conservative — keep
-            # reacting to observed violations so the sensitive app is
-            # not left unprotected while blind.
+        # 0d. Model-health watchdog: heal a poisoned learned state
+        #     *before* this period maps or predicts over it.
+        if self.watchdog is not None:
+            self.watchdog.check_and_heal(tick, self)
+
+        # 1. Mapping. A contained mapping failure (or an OPEN mapping
+        #    breaker) degrades this period to the monitoring-gap path.
+        mapped = None
+        if measurement is not None:
+            result = self._call_stage(
+                "map", tick, self._stage_map, tick, measurement, violated
+            )
+            if not isinstance(result, _StageOutcome):
+                mapped = result
+                if mapped.is_new_state:
+                    self.events.record(
+                        tick, EventKind.NEW_STATE, index=mapped.state_index
+                    )
+                if mapped.refitted:
+                    self.events.record(
+                        tick, EventKind.REFIT, states=len(self.state_space)
+                    )
+
+        if mapped is None:
+            # Monitoring gap or contained mapping failure: nothing to
+            # map. Stay conservative — keep reacting to observed
+            # violations so the sensitive app is not left unprotected
+            # while blind.
             self._c_gaps.inc()
-            with self.telemetry.stage("controller.act"):
-                throttled_now = self.throttle.step(
-                    tick,
-                    host,
-                    impending_violation=False,
-                    observed_violation=violated and mode is ExecutionMode.COLOCATED,
-                    sensitive_step_distance=None,
-                )
-            if throttled_now:
-                self.predictor.invalidate_pending()
+            self._act(
+                tick,
+                host,
+                impending=False,
+                observed=violated and mode is ExecutionMode.COLOCATED,
+                distance=None,
+            )
             self._prev_coords = None
             self._prev_mode = mode
             return
 
-        # 1. Mapping.
-        with self.telemetry.stage("controller.map"):
-            mapped = self.mapping.map_measurement(tick, measurement, violated)
-        if mapped.is_new_state:
-            self.events.record(tick, EventKind.NEW_STATE, index=mapped.state_index)
-        if mapped.refitted:
-            self.events.record(
-                tick, EventKind.REFIT, states=len(self.state_space)
-            )
-
-        # 2. Prediction.
-        with self.telemetry.stage("controller.predict"):
-            self.predictor.observe(
-                tick, mode, mapped.coords, self.state_space, violated
-            )
-            prediction = self.predictor.predict(
-                tick, mode, mapped.coords, self.state_space
-            )
+        # 2. Prediction. A contained predictor failure (or an OPEN
+        #    prediction breaker) means no prediction this period.
+        result = self._call_stage(
+            "predict", tick, self._stage_predict, tick, mode, mapped.coords, violated
+        )
+        prediction = None if isinstance(result, _StageOutcome) else result
         self.last_prediction = prediction
         impending = (
-            prediction.impending_violation
+            prediction is not None
+            and prediction.impending_violation
             and mode is ExecutionMode.COLOCATED
             and predictive_allowed
         )
@@ -290,17 +324,13 @@ class StayAway:
 
         # 3. Action.
         sensitive_distance = self._sensitive_step_distance(mode, mapped.coords)
-        with self.telemetry.stage("controller.act"):
-            throttled_now = self.throttle.step(
-                tick,
-                host,
-                impending_violation=impending,
-                observed_violation=violated and mode is ExecutionMode.COLOCATED,
-                sensitive_step_distance=sensitive_distance,
-            )
-        if throttled_now:
-            # The predicted co-located state will never materialize.
-            self.predictor.invalidate_pending()
+        self._act(
+            tick,
+            host,
+            impending=impending,
+            observed=violated and mode is ExecutionMode.COLOCATED,
+            distance=sensitive_distance,
+        )
 
         self.trajectory.append(
             TrajectoryPoint(
@@ -313,6 +343,117 @@ class StayAway:
         )
         self._prev_coords = mapped.coords.copy()
         self._prev_mode = mode
+
+    # -- stages (patchable seams; each runs inside the firewall) ----------------
+    def _stage_guard(self, tick: int):
+        """Collect stage: validate/impute the raw measurement."""
+        raw = self.collector.latest.values
+        if self.guard is None:
+            return raw, True
+        verdict = self.guard.inspect(tick, raw)
+        if not verdict.accepted:
+            self.events.record(
+                tick,
+                EventKind.SENSOR_REJECT,
+                reasons=[reason.value for reason in verdict.reasons],
+                imputed=verdict.imputed,
+            )
+        return verdict.values, verdict.usable
+
+    def _stage_map(self, tick: int, measurement: np.ndarray, violated: bool):
+        """Mapping stage: measurement -> state -> 2-D coordinates."""
+        with self.telemetry.stage("controller.map"):
+            return self.mapping.map_measurement(tick, measurement, violated)
+
+    def _stage_predict(
+        self, tick: int, mode: ExecutionMode, coords: np.ndarray, violated: bool
+    ) -> Prediction:
+        """Prediction stage: learn the step, vote over candidates."""
+        with self.telemetry.stage("controller.predict"):
+            self.predictor.observe(tick, mode, coords, self.state_space, violated)
+            return self.predictor.predict(tick, mode, coords, self.state_space)
+
+    def _stage_act(
+        self,
+        tick: int,
+        host: Host,
+        impending: bool,
+        observed: bool,
+        distance: Optional[float],
+    ) -> bool:
+        """Action stage: throttle/resume decision."""
+        with self.telemetry.stage("controller.act"):
+            return self.throttle.step(
+                tick,
+                host,
+                impending_violation=impending,
+                observed_violation=observed,
+                sensitive_step_distance=distance,
+            )
+
+    # -- the exception firewall -------------------------------------------------
+    def _call_stage(self, stage: str, tick: int, fn, *args, **kwargs):
+        """Run one stage behind its circuit breaker and exception firewall.
+
+        With fault containment disabled this is a plain call — stage
+        exceptions propagate and crash the run exactly as the naive
+        runtime would. With containment on, an exception degrades the
+        period (``STAGE_FAILED``) and feeds the stage's error budget; an
+        exhausted budget opens the breaker and the stage is skipped
+        (``STAGE_OPEN``) until cooldown and probing close it again. A
+        tripped mapping/prediction breaker additionally forces the
+        degraded-mode machine into the conservative reactive policy.
+        """
+        if self.breakers is None:
+            return fn(*args, **kwargs)
+        breaker = self.breakers.get(stage)
+        if not breaker.allows(tick):
+            return STAGE_OPEN
+        try:
+            result = fn(*args, **kwargs)
+        except Exception as exc:  # sacheck: disable=SA108 -- stage firewall: contain any stage fault, degrade the period instead of crashing the run
+            self._c_firewall.inc()
+            self.events.record(
+                tick,
+                EventKind.FIREWALL_CATCH,
+                stage=stage,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            )
+            tripped = breaker.record_failure(tick)
+            if tripped and stage in ("guard", "map", "predict") and self.health is not None:
+                self.health.force_degraded(tick, f"breaker-{stage}")
+            return STAGE_FAILED
+        breaker.record_success(tick)
+        return result
+
+    def _act(
+        self,
+        tick: int,
+        host: Host,
+        impending: bool,
+        observed: bool,
+        distance: Optional[float],
+    ) -> bool:
+        """Firewalled action stage with the pause-and-hold fail-safe.
+
+        When the act stage raises or its breaker is OPEN the controller
+        cannot trust its throttle/resume decision logic, so it falls
+        back to the safest action available: pause the batch containers
+        (a no-op if already paused) and hold — no resumes — until the
+        breaker closes again.
+        """
+        result = self._call_stage(
+            "act", tick, self._stage_act, tick, host, impending, observed, distance
+        )
+        if isinstance(result, _StageOutcome):
+            throttled_now = self.throttle.preemptive_pause(tick, host)
+        else:
+            throttled_now = result
+        if throttled_now:
+            # The predicted co-located state will never materialize.
+            self.predictor.invalidate_pending()
+        return throttled_now
 
     # -- helpers -----------------------------------------------------------------
     def _qos_channel_fresh(self) -> bool:
@@ -395,6 +536,16 @@ class StayAway:
             "telemetry": {
                 "enabled": self.telemetry.enabled,
                 "monitoring_gaps": int(self._c_gaps.value),
+                "containment": {
+                    "enabled": self.breakers is not None,
+                    "firewall_catches": int(self._c_firewall.value),
+                    "breakers": (
+                        self.breakers.summary() if self.breakers is not None else None
+                    ),
+                    "watchdog": (
+                        self.watchdog.summary() if self.watchdog is not None else None
+                    ),
+                },
                 "dedup_hit_rate": (
                     self.mapping.dedup_hit_rate() if self.mapping is not None else 0.0
                 ),

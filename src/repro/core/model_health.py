@@ -1,0 +1,384 @@
+"""Model-health watchdog: learned-state invariants, quarantine, rollback.
+
+The exception firewall and circuit breakers (:mod:`repro.core.breakers`)
+contain *loud* stage failures; this module contains the silent ones. A
+NaN that escapes SMACOF, a degenerate geometry rebuild or a poisoned
+representative does not raise — it quietly corrupts the learned model,
+and every prediction made over it afterwards is garbage. Production
+interference managers treat the controller's own model as a fallible
+component; the reproduction does the same:
+
+* every period the watchdog checks **learned-state invariants**: finite
+  2-D coordinates and representative vectors, index-aligned
+  labels/coords/representatives, finite non-negative violation-range
+  radii and scale, finite step-histogram samples, a positive finite
+  beta, and normalized stress that neither diverges nor goes
+  non-finite;
+* on violation it **heals** with the least destructive repair that
+  fits: rebuild the violation geometry when only the materialized cache
+  is poisoned, **quarantine** the offending representatives when
+  individual rows went bad, **roll back** the state space and
+  trajectory models to the last-known-good snapshot for structural or
+  model-wide damage, and as a last resort hard-reset the learned state
+  and relearn;
+* after every clean check it refreshes the **last-known-good snapshot**
+  on the configured cadence (``StayAwayConfig.snapshot_interval``) via
+  :class:`~repro.core.checkpoint.ControllerCheckpoint`.
+
+Quarantines, rollbacks and snapshot refreshes are recorded in the
+:class:`~repro.core.events.EventLog` and counted in the telemetry
+registry (surfaced under ``summary()["telemetry"]["containment"]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointError, ControllerCheckpoint
+from repro.core.config import StayAwayConfig
+from repro.core.events import EventKind, EventLog
+from repro.trajectory.modes import ExecutionMode
+
+if TYPE_CHECKING:
+    from repro.core.controller import StayAway
+
+#: Stress above this (on a map of >= MIN_STATES_FOR_STRESS states)
+#: means the embedding degenerated — a healthy SMACOF fit sits far
+#: below it.
+STRESS_DIVERGENCE = 0.95
+MIN_STATES_FOR_STRESS = 10
+
+#: Coordinates/representatives live in a normalized metric space with
+#: magnitudes of order 1; anything beyond this is corruption, not
+#: learning. Checked per-row (ungated) so garbage cannot slip into a
+#: last-known-good snapshot while size-gated checks are still off.
+MAGNITUDE_LIMIT = 1e6
+
+
+@dataclass(frozen=True)
+class HealthIssue:
+    """One learned-state invariant violation."""
+
+    check: str
+    detail: str
+
+
+@dataclass
+class HealthReport:
+    """Outcome of one watchdog inspection."""
+
+    tick: int
+    issues: List[HealthIssue] = field(default_factory=list)
+    #: State indices whose learned rows (coords/representatives) are bad.
+    bad_states: List[int] = field(default_factory=list)
+    #: Execution modes whose step histograms hold non-finite samples.
+    bad_modes: List[ExecutionMode] = field(default_factory=list)
+    #: Structural damage (length mismatches) that per-row quarantine
+    #: cannot repair.
+    structural: bool = False
+    #: Poisoning confined to the materialized geometry cache while the
+    #: underlying coords/labels are clean.
+    cache_poisoned: bool = False
+    #: Beta degenerated (non-finite or non-positive).
+    beta_bad: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.issues
+
+
+class ModelHealthWatchdog:
+    """Per-period learned-state invariant checks with tiered healing.
+
+    Parameters
+    ----------
+    config:
+        The controller's :class:`~repro.core.config.StayAwayConfig`
+        (quarantine toggle, snapshot cadence, beta reset value).
+    events:
+        Event log receiving quarantine/rollback/snapshot records.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` for the
+        ``containment.*`` counters.
+    """
+
+    def __init__(
+        self, config: StayAwayConfig, events: EventLog, telemetry=None
+    ) -> None:
+        self.config = config
+        self.events = events
+        self.last_good: Optional[ControllerCheckpoint] = None
+        self.last_snapshot_tick: Optional[int] = None
+        self.checks = 0
+        self.violations = 0
+        self.quarantines = 0
+        self.quarantined_states = 0
+        self.rollbacks = 0
+        self.geometry_repairs = 0
+        self.resets = 0
+        self.beta_resets = 0
+        self._counters = None
+        if telemetry is not None:
+            self._counters = {
+                name: telemetry.counter(f"containment.{name}", help=help_text)
+                for name, help_text in (
+                    ("watchdog_checks", "model-health inspections run"),
+                    ("watchdog_violations", "inspections that found a breach"),
+                    ("quarantines", "poisoned representatives quarantined"),
+                    ("rollbacks", "model rollbacks to last-known-good"),
+                    ("geometry_repairs", "poisoned geometry caches rebuilt"),
+                    ("model_resets", "hard resets of the learned state"),
+                )
+            }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._counters is not None:
+            self._counters[name].inc(amount)
+
+    # -- inspection --------------------------------------------------------
+    def inspect(self, tick: int, controller: "StayAway") -> HealthReport:
+        """Check every learned-state invariant; never raises."""
+        report = HealthReport(tick=tick)
+        space = controller.state_space
+        self.checks += 1
+        self._count("watchdog_checks")
+
+        # 1. Structural consistency: labels, coords and representatives
+        #    must stay index-aligned.
+        n_labels = len(space.labels)
+        n_coords = int(space.coords.shape[0])
+        n_reps = len(space.representatives)
+        if not (n_labels == n_coords == n_reps):
+            report.structural = True
+            report.issues.append(
+                HealthIssue(
+                    "consistency",
+                    f"labels={n_labels} coords={n_coords} reps={n_reps}",
+                )
+            )
+
+        # 2. Per-row sanity of the learned map: finite and of plausible
+        #    magnitude (both live in normalized spaces of order-1
+        #    values; 1e9 is corruption, not learning).
+        if not report.structural and n_coords:
+            bad = set()
+            coords_ok = np.isfinite(space.coords).all(axis=1) & (
+                np.abs(np.nan_to_num(space.coords)) <= MAGNITUDE_LIMIT
+            ).all(axis=1)
+            bad.update(int(i) for i in np.nonzero(~coords_ok)[0])
+            points = space.representatives.points
+            if points.size:
+                reps_ok = np.isfinite(points).all(axis=1) & (
+                    np.abs(np.nan_to_num(points)) <= MAGNITUDE_LIMIT
+                ).all(axis=1)
+                bad.update(int(i) for i in np.nonzero(~reps_ok)[0])
+            if bad:
+                report.bad_states = sorted(bad)
+                report.issues.append(
+                    HealthIssue(
+                        "finite-rows",
+                        f"{len(bad)} state row(s) non-finite: "
+                        f"{report.bad_states[:8]}",
+                    )
+                )
+
+        # 3. Materialized violation geometry: radii non-negative and
+        #    finite, scale and centers finite. Only the *cached* object
+        #    is checked — rebuilding here would mask in-place poisoning.
+        cached = space._geometry
+        if cached is not None:
+            geometry_bad = (
+                not np.isfinite(cached.scale)
+                or (cached.radii.size and not np.isfinite(cached.radii).all())
+                or bool(np.any(cached.radii < 0))
+                or (cached.centers.size and not np.isfinite(cached.centers).all())
+            )
+            if geometry_bad:
+                report.issues.append(
+                    HealthIssue("geometry", "cached violation geometry poisoned")
+                )
+                if not report.bad_states and not report.structural:
+                    report.cache_poisoned = True
+
+        # 4. Trajectory models: step histograms must stay finite.
+        for mode, model in controller.predictor.modes.models.items():
+            samples = list(model.distances.samples) + list(model.angles.samples)
+            last = model._last_point
+            finite = all(np.isfinite(v) for v in samples) and (
+                last is None or bool(np.isfinite(last).all())
+            )
+            if not finite:
+                report.bad_modes.append(mode)
+                report.issues.append(
+                    HealthIssue("histograms", f"{mode.value} model non-finite")
+                )
+
+        # 5. Beta stays a usable threshold.
+        beta = controller.throttle.beta
+        if not np.isfinite(beta) or beta <= 0:
+            report.beta_bad = True
+            report.issues.append(HealthIssue("beta", f"beta degenerated to {beta}"))
+
+        # 6. Stress non-divergence (only meaningful on a clean map of
+        #    useful size; a poisoned map is already flagged above).
+        if (
+            not report.issues
+            and n_labels >= MIN_STATES_FOR_STRESS
+        ):
+            stress = space.stress()
+            if not np.isfinite(stress) or stress > STRESS_DIVERGENCE:
+                report.structural = True
+                report.issues.append(
+                    HealthIssue("stress", f"normalized stress diverged to {stress}")
+                )
+
+        if report.issues:
+            self.violations += 1
+            self._count("watchdog_violations")
+        return report
+
+    # -- healing -----------------------------------------------------------
+    def heal(self, tick: int, controller: "StayAway", report: HealthReport) -> List[str]:
+        """Apply the least destructive repairs for a bad report.
+
+        Returns the list of actions taken (``geometry-rebuild``,
+        ``quarantine``, ``rollback``, ``beta-reset``, ``reset``).
+        """
+        actions: List[str] = []
+        if report.ok:
+            return actions
+        space = controller.state_space
+
+        if report.beta_bad:
+            controller.throttle.beta = self.config.beta_initial
+            self.beta_resets += 1
+            actions.append("beta-reset")
+
+        if report.cache_poisoned:
+            # Underlying rows are clean — drop the cache and let the
+            # next vote rebuild from truth.
+            space.invalidate_geometry()
+            self.geometry_repairs += 1
+            self._count("geometry_repairs")
+            actions.append("geometry-rebuild")
+
+        needs_rollback = report.structural or bool(report.bad_modes)
+        if (
+            not needs_rollback
+            and report.bad_states
+            and self.config.watchdog_quarantine
+            and len(report.bad_states) < len(space.labels)
+        ):
+            removed = space.quarantine(report.bad_states)
+            self.quarantines += 1
+            self.quarantined_states += removed
+            self._count("quarantines", removed)
+            self.events.record(
+                tick,
+                EventKind.MODEL_QUARANTINE,
+                states=list(report.bad_states),
+                removed=removed,
+            )
+            actions.append("quarantine")
+        elif report.bad_states:
+            needs_rollback = True
+
+        if needs_rollback:
+            if self.last_good is not None and self._rollback(tick, controller):
+                actions.append("rollback")
+            else:
+                self._hard_reset(tick, controller)
+                actions.append("reset")
+        return actions
+
+    def _rollback(self, tick: int, controller: "StayAway") -> bool:
+        assert self.last_good is not None
+        try:
+            self.last_good.restore_models_into(controller)
+        except CheckpointError:
+            return False
+        self.rollbacks += 1
+        self._count("rollbacks")
+        self.events.record(
+            tick,
+            EventKind.MODEL_ROLLBACK,
+            snapshot_tick=self.last_good.captured_tick,
+            states=self.last_good.state_count,
+        )
+        return True
+
+    def _hard_reset(self, tick: int, controller: "StayAway") -> None:
+        """Last resort: drop the learned state entirely and relearn."""
+        space = controller.state_space
+        space.representatives._points = []
+        space.representatives._counts = []
+        space.representatives.invalidate_index()
+        space.coords = np.empty((0, 2))
+        space.labels = []
+        space._new_since_refit = 0
+        space.invalidate_geometry()
+        for model in controller.predictor.modes.models.values():
+            model.distances._samples.clear()
+            model.angles._samples.clear()
+            model.steps_observed = 0
+            model.break_continuity()
+        self.resets += 1
+        self._count("model_resets")
+        self.events.record(tick, EventKind.MODEL_ROLLBACK, snapshot_tick=None, reset=True)
+
+    # -- snapshots ---------------------------------------------------------
+    def maybe_snapshot(self, tick: int, controller: "StayAway") -> bool:
+        """Refresh the last-known-good snapshot on the configured cadence.
+
+        Only called after a clean inspection — a snapshot of a poisoned
+        model would make rollback itself an attack vector. Returns True
+        when a new snapshot was captured.
+        """
+        interval = self.config.snapshot_interval * self.config.period
+        if (
+            self.last_snapshot_tick is not None
+            and tick - self.last_snapshot_tick < interval
+        ):
+            return False
+        self.last_good = ControllerCheckpoint.capture(controller, tick=tick)
+        self.last_snapshot_tick = tick
+        self.events.record(
+            tick, EventKind.MODEL_SNAPSHOT, states=self.last_good.state_count
+        )
+        return True
+
+    # -- the per-period entry point ----------------------------------------
+    def check_and_heal(self, tick: int, controller: "StayAway") -> List[str]:
+        """Inspect, heal, refresh the snapshot; returns actions taken."""
+        report = self.inspect(tick, controller)
+        if report.ok:
+            self.maybe_snapshot(tick, controller)
+            return []
+        return self.heal(tick, controller, report)
+
+    def summary(self) -> dict:
+        """Counters for reports and tests."""
+        return {
+            "checks": self.checks,
+            "violations": self.violations,
+            "quarantines": self.quarantines,
+            "quarantined_states": self.quarantined_states,
+            "rollbacks": self.rollbacks,
+            "geometry_repairs": self.geometry_repairs,
+            "resets": self.resets,
+            "beta_resets": self.beta_resets,
+            "snapshot_tick": self.last_snapshot_tick,
+        }
+
+
+__all__ = [
+    "HealthIssue",
+    "HealthReport",
+    "ModelHealthWatchdog",
+    "MIN_STATES_FOR_STRESS",
+    "STRESS_DIVERGENCE",
+]

@@ -150,6 +150,20 @@ class DegradedModeMachine:
                 self._healthy_streak = 0
         return self.state
 
+    def force_degraded(self, tick: int, reason: str) -> None:
+        """Drop into DEGRADED immediately for a controller-internal fault.
+
+        Used by the fault-containment runtime when a mapping or
+        prediction circuit breaker trips: the learned model can no
+        longer be trusted even though both *input* channels are healthy,
+        so the controller falls back to the reactive-only policy. The
+        normal resync rule applies on the way out — ``resync_periods``
+        consecutive healthy periods re-enter PREDICTIVE.
+        """
+        if self.state is ControllerHealth.DEGRADED:
+            return
+        self._enter_degraded(tick, [reason])
+
     def _enter_degraded(self, tick: int, reasons: List[str]) -> None:
         self.state = ControllerHealth.DEGRADED
         self.degraded_entries += 1

@@ -385,6 +385,35 @@ class StateSpace:
             radii=radii,
         )
 
+    # -- quarantine --------------------------------------------------------
+    def quarantine(self, indices) -> int:
+        """Remove (quarantine) states whose learned rows are poisoned.
+
+        Used by the model-health watchdog when a representative's
+        coordinates or high-dimensional vector went non-finite: the
+        offending rows are dropped from the representatives, the 2-D
+        coordinates and the labels in one index-aligned pass, later
+        states shift down, and every derived cache (merge grid,
+        violation geometry) is invalidated. Returns how many states
+        were removed.
+
+        State *indices* held by external bookkeeping (mapping history,
+        figures) are not rewritten — they refer to the map as it was at
+        record time, exactly as they already do across refits.
+        """
+        doomed = sorted({int(i) for i in indices if 0 <= int(i) < len(self.labels)})
+        if not doomed:
+            return 0
+        removed = self.representatives.remove_indices(doomed)
+        keep = [i for i in range(len(self.labels)) if i not in set(doomed)]
+        self.coords = (
+            self.coords[keep] if keep else np.empty((0, 2))
+        )
+        self.labels = [self.labels[i] for i in keep]
+        self._new_since_refit = min(self._new_since_refit, len(self.labels))
+        self.invalidate_geometry()
+        return removed
+
     def geometry_stats(self) -> Dict[str, int]:
         """Cache accounting: hits, rebuilds and invalidations so far."""
         return {

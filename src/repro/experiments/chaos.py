@@ -18,6 +18,7 @@ in violation ratio is attributable to the resilience layer.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
@@ -30,8 +31,10 @@ from repro.sim.faults import (
     ContainerFlapper,
     DemandSpiker,
     InvariantChecker,
+    ModelPoisoner,
     QosDropout,
     SensorCorruptor,
+    StageExceptionInjector,
 )
 
 
@@ -69,6 +72,30 @@ class ChaosMix:
     spike_factor: float = 2.0
 
 
+@dataclass(frozen=True)
+class ControllerCrash:
+    """Forensics of an uncaught controller exception.
+
+    Attributes
+    ----------
+    tick:
+        Tick the runtime died at.
+    error_type / message:
+        Exception class name and message.
+    fault:
+        The injected fault's name (``InjectedStageError.fault_name``)
+        when the crash was caused by a known injector, else None.
+    trace:
+        The deepest frame of the traceback (``file:line in func``).
+    """
+
+    tick: int
+    error_type: str
+    message: str
+    fault: Optional[str] = None
+    trace: Optional[str] = None
+
+
 class CrashGuard:
     """Middleware wrapper isolating controller crashes.
 
@@ -78,23 +105,47 @@ class CrashGuard:
     it paused and nothing protects the sensitive application anymore.
     This wrapper reproduces that: after the first uncaught exception
     the controller is never invoked again — only its QoS tracker keeps
-    observing so the violation accounting stays comparable.
+    observing so the violation accounting stays comparable. The crash's
+    full context (tick, exception, injected-fault name, deepest frame)
+    is retained in :attr:`crash` for the experiment report.
     """
 
     def __init__(self, controller: StayAway) -> None:
         self.controller = controller
-        self.crashed_at: Optional[int] = None
-        self.error: Optional[str] = None
+        self.crash: Optional[ControllerCrash] = None
+
+    @property
+    def crashed_at(self) -> Optional[int]:
+        """Tick of the fatal exception (None = still alive)."""
+        return None if self.crash is None else self.crash.tick
+
+    @property
+    def error(self) -> Optional[str]:
+        """``ErrorType: message`` of the fatal exception, if any."""
+        if self.crash is None:
+            return None
+        return f"{self.crash.error_type}: {self.crash.message}"
 
     def on_tick(self, snapshot, host) -> None:
-        if self.crashed_at is not None:
+        if self.crash is not None:
             self.controller.qos.on_tick(snapshot, host)
             return
         try:
             self.controller.on_tick(snapshot, host)
-        except Exception as exc:  # noqa: BLE001 — any crash kills the runtime
-            self.crashed_at = snapshot.tick
-            self.error = repr(exc)
+        except Exception as exc:  # sacheck: disable=SA108 -- models the dead runtime: any uncaught controller exception kills the process for the rest of the run
+            frames = traceback.extract_tb(exc.__traceback__)
+            deepest = frames[-1] if frames else None
+            self.crash = ControllerCrash(
+                tick=snapshot.tick,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                fault=getattr(exc, "fault_name", None),
+                trace=(
+                    f"{deepest.filename}:{deepest.lineno} in {deepest.name}"
+                    if deepest is not None
+                    else None
+                ),
+            )
 
 
 @dataclass
@@ -277,12 +328,242 @@ def run_chaos_comparison(
     return ChaosComparison(resilient=resilient, unguarded=unguarded)
 
 
+# ---------------------------------------------------------------------------
+# Recovery drills: controller-internal faults, containment on vs off
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ContainmentMix:
+    """Knobs of the seeded controller-internal fault cocktail.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; both injectors derive per-tick decisions from it so
+        the fault script is identical across policy variants.
+    stage_fault:
+        Per-period probability that a targeted stage raises.
+    stages:
+        Stages the probabilistic injector targets.
+    fault_windows:
+        Scripted ``(start, end, stage)`` windows during which the stage
+        fails every period — the deterministic outage that drives a
+        breaker through trip, cooldown and recovery.
+    poison:
+        Per-period probability of one model-poisoning mutation.
+    poison_kinds:
+        Poison kinds to draw from (None = all).
+    """
+
+    seed: int = 0
+    stage_fault: float = 0.02
+    stages: Tuple[str, ...] = ("map", "predict")
+    fault_windows: Tuple[Tuple[int, int, str], ...] = ()
+    poison: float = 0.02
+    poison_kinds: Optional[Tuple[str, ...]] = None
+
+
+def uncontained_config(config: Optional[StayAwayConfig] = None) -> StayAwayConfig:
+    """The same controller with fault containment disabled.
+
+    No exception firewall, no circuit breakers, no model-health
+    watchdog — a stage exception propagates and (under
+    :class:`CrashGuard`) kills the runtime, exactly like the naive
+    implementation.
+    """
+    base = config if config is not None else StayAwayConfig()
+    return replace(base, fault_containment=False, model_watchdog=False)
+
+
+@dataclass
+class RecoveryDrillResult:
+    """Outcome of one recovery drill.
+
+    Attributes
+    ----------
+    scenario / mix:
+        What was run and under which internal-fault cocktail.
+    built / controller / checker:
+        The instantiated scenario, the controller and the riding
+        invariant checker.
+    crash_guard:
+        Crash forensics (an uncontained run usually dies here).
+    injector / poisoner:
+        The fault injectors, for fault-census assertions.
+    """
+
+    scenario: Scenario
+    mix: ContainmentMix
+    built: BuiltScenario
+    controller: StayAway
+    checker: InvariantChecker
+    crash_guard: CrashGuard
+    injector: StageExceptionInjector
+    poisoner: ModelPoisoner
+
+    @property
+    def crashed_at(self) -> Optional[int]:
+        """Tick the controller died at (None = survived the run)."""
+        return self.crash_guard.crashed_at
+
+    @property
+    def crash(self) -> Optional[ControllerCrash]:
+        """Full crash forensics, if the run died."""
+        return self.crash_guard.crash
+
+    def violation_ratio(self) -> float:
+        """Fraction of reported ticks in QoS violation."""
+        return self.controller.qos.violation_ratio()
+
+    def recovery_times(self) -> list:
+        """Trip-to-reset durations (ticks) across all stage breakers."""
+        if self.controller.breakers is None:
+            return []
+        times: list = []
+        for breaker in self.controller.breakers.breakers.values():
+            times.extend(breaker.recovery_times())
+        return times
+
+    def summary(self) -> dict:
+        """Controller summary + fault census + containment verdict."""
+        times = self.recovery_times()
+        containment = self.controller.summary()["telemetry"]["containment"]
+        return {
+            "controller": self.controller.summary(),
+            "violation_ratio": self.violation_ratio(),
+            "crashed_at": self.crashed_at,
+            "crash": (
+                None
+                if self.crash is None
+                else {
+                    "tick": self.crash.tick,
+                    "error_type": self.crash.error_type,
+                    "message": self.crash.message,
+                    "fault": self.crash.fault,
+                    "trace": self.crash.trace,
+                }
+            ),
+            "faults": {
+                "stage_faults": len(self.injector.fired),
+                "poisons": len(self.poisoner.fired),
+                "total": len(self.injector.fired) + len(self.poisoner.fired),
+            },
+            "containment": containment,
+            "recovery": {
+                "recoveries": len(times),
+                "mean_recovery_ticks": (sum(times) / len(times)) if times else 0.0,
+                "max_recovery_ticks": max(times) if times else 0,
+            },
+            "invariants": self.checker.summary(),
+        }
+
+
+def run_recovery_drill(
+    scenario: Scenario,
+    mix: Optional[ContainmentMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> RecoveryDrillResult:
+    """Run a scenario under controller-internal faults.
+
+    Unlike :func:`run_chaos` the environment is healthy — the faults
+    live *inside* the controller: stages raise on schedule and the
+    learned model is silently poisoned. What is being drilled is the
+    containment machinery (firewall, breakers, watchdog), or — with
+    :func:`uncontained_config` — its absence.
+    """
+    mix = mix if mix is not None else ContainmentMix()
+    built = scenario.build(include_batch=True)
+    host = built.host
+
+    controller = StayAway(built.sensitive_app, config=config)
+    crash_guard = CrashGuard(controller)
+    injector = StageExceptionInjector(
+        controller,
+        seed=mix.seed + 53,
+        probability=mix.stage_fault,
+        stages=mix.stages,
+    )
+    for start, end, stage in mix.fault_windows:
+        injector.during(start, end, stage)
+    injector.install()
+    poisoner = ModelPoisoner(
+        controller,
+        seed=mix.seed + 67,
+        probability=mix.poison,
+        kinds=mix.poison_kinds,
+    )
+    checker = InvariantChecker(controller)
+
+    engine = SimulationEngine(host)
+    engine.add_middleware(crash_guard)
+    # The checker audits the controller's own bookkeeping, so it runs
+    # before the poisoner: damage injected this tick is the watchdog's
+    # to find next period, not an instant invariant breach.
+    engine.add_middleware(checker)
+    engine.add_middleware(poisoner)
+    try:
+        engine.run(ticks=scenario.ticks)
+    finally:
+        injector.remove()
+
+    return RecoveryDrillResult(
+        scenario=scenario,
+        mix=mix,
+        built=built,
+        controller=controller,
+        checker=checker,
+        crash_guard=crash_guard,
+        injector=injector,
+        poisoner=poisoner,
+    )
+
+
+@dataclass
+class RecoveryComparison:
+    """Contained vs uncontained controller under identical internal faults."""
+
+    contained: RecoveryDrillResult
+    uncontained: RecoveryDrillResult
+
+    @property
+    def improvement(self) -> float:
+        """Absolute violation-ratio reduction from fault containment."""
+        return self.uncontained.violation_ratio() - self.contained.violation_ratio()
+
+    def summary(self) -> dict:
+        return {
+            "contained": self.contained.summary(),
+            "uncontained": self.uncontained.summary(),
+            "improvement": self.improvement,
+        }
+
+
+def run_recovery_comparison(
+    scenario: Scenario,
+    mix: Optional[ContainmentMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> RecoveryComparison:
+    """Run the same seeded internal-fault script twice: containment on vs off."""
+    contained = run_recovery_drill(scenario, mix=mix, config=config)
+    uncontained = run_recovery_drill(
+        scenario, mix=mix, config=uncontained_config(config)
+    )
+    return RecoveryComparison(contained=contained, uncontained=uncontained)
+
+
 __all__ = [
     "ChaosComparison",
     "ChaosMix",
     "ChaosResult",
+    "ContainmentMix",
+    "ControllerCrash",
     "CrashGuard",
+    "RecoveryComparison",
+    "RecoveryDrillResult",
     "run_chaos",
     "run_chaos_comparison",
+    "run_recovery_drill",
+    "run_recovery_comparison",
+    "uncontained_config",
     "unguarded_config",
 ]

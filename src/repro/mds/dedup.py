@@ -183,6 +183,21 @@ class RepresentativeSet:
             return candidates[local]
         return None
 
+    def remove_indices(self, indices) -> int:
+        """Remove representatives by index; returns how many were removed.
+
+        Later representatives shift down to fill the gaps (callers that
+        keep index-aligned side arrays must compact them identically).
+        The merge grid and matrix caches are invalidated.
+        """
+        doomed = {int(i) for i in indices if 0 <= int(i) < len(self._points)}
+        if not doomed:
+            return 0
+        self._points = [p for i, p in enumerate(self._points) if i not in doomed]
+        self._counts = [c for i, c in enumerate(self._counts) if i not in doomed]
+        self.invalidate_index()
+        return len(doomed)
+
     def invalidate_index(self) -> None:
         """Drop the merge index and points-matrix cache.
 

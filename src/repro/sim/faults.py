@@ -449,6 +449,233 @@ class ActuatorFaultInjector:
 
 
 # ---------------------------------------------------------------------------
+# Controller-internal faults: stage crashes and model poisoning
+# ---------------------------------------------------------------------------
+
+class InjectedStageError(RuntimeError):
+    """A deliberately injected controller-stage failure.
+
+    Carries the stage and tick so the firewall's event record (and the
+    chaos experiment's crash forensics) can attribute the fault.
+    """
+
+    def __init__(self, stage: str, tick: int) -> None:
+        super().__init__(f"injected {stage}-stage fault at tick {tick}")
+        self.fault_name = f"stage-{stage}"
+        self.stage = stage
+        self.tick = tick
+
+
+class StageExceptionInjector:
+    """Make controller stages raise — scripted or probabilistic.
+
+    Wraps the controller's patchable stage seams (``_stage_guard``,
+    ``_stage_map``, ``_stage_predict``, ``_stage_act``) so they raise
+    :class:`InjectedStageError` at scripted ticks, during scripted
+    windows, or with a per-period probability. The probabilistic
+    decision is a pure function of ``(seed, tick, stage)`` — the fault
+    script is identical across policy variants regardless of how each
+    run's control flow diverges after the first fault.
+
+    Use :meth:`install` / :meth:`remove` around the run.
+    """
+
+    STAGES: Tuple[str, ...] = ("guard", "map", "predict", "act")
+
+    def __init__(
+        self,
+        controller,
+        seed: int = 0,
+        probability: float = 0.0,
+        stages: Sequence[str] = ("map",),
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        unknown = set(stages) - set(self.STAGES)
+        if unknown:
+            raise ValueError(f"unknown stages: {sorted(unknown)}")
+        self.controller = controller
+        self.seed = seed
+        self.probability = probability
+        self.stages = tuple(stages)
+        self._scripted: set = set()
+        self._windows: List[Tuple[int, int, str]] = []
+        self.fired: List[FaultEvent] = []
+        self._originals: Dict[str, object] = {}
+
+    def at(self, tick: int, stage: str) -> "StageExceptionInjector":
+        """Script a single-period failure of ``stage`` at ``tick``."""
+        if stage not in self.STAGES:
+            raise ValueError(f"unknown stage {stage!r}")
+        self._scripted.add((tick, stage))
+        return self
+
+    def during(self, start: int, end: int, stage: str) -> "StageExceptionInjector":
+        """Script ``stage`` to fail every period in ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty fault window ({start}, {end})")
+        if stage not in self.STAGES:
+            raise ValueError(f"unknown stage {stage!r}")
+        self._windows.append((start, end, stage))
+        return self
+
+    def _should_fail(self, tick: int, stage: str) -> bool:
+        if (tick, stage) in self._scripted:
+            return True
+        for start, end, name in self._windows:
+            if name == stage and start <= tick < end:
+                return True
+        if self.probability > 0 and stage in self.stages:
+            rng = np.random.default_rng(
+                [self.seed, tick, self.STAGES.index(stage)]
+            )
+            return bool(rng.uniform() < self.probability)
+        return False
+
+    def _wrap(self, stage: str, original):
+        def faulty(tick, *args, **kwargs):
+            if self._should_fail(tick, stage):
+                self.fired.append(
+                    FaultEvent(tick=tick, kind=f"stage-{stage}", target=stage)
+                )
+                raise InjectedStageError(stage=stage, tick=tick)
+            return original(tick, *args, **kwargs)
+
+        return faulty
+
+    def install(self) -> "StageExceptionInjector":
+        """Start injecting stage faults (idempotent)."""
+        if self._originals:
+            return self
+        for stage in self.STAGES:
+            name = f"_stage_{stage}"
+            original = getattr(self.controller, name)
+            self._originals[name] = original
+            setattr(self.controller, name, self._wrap(stage, original))
+        return self
+
+    def remove(self) -> None:
+        """Restore the original stage methods (idempotent)."""
+        for name, original in self._originals.items():
+            setattr(self.controller, name, original)
+        self._originals = {}
+
+
+class ModelPoisoner:
+    """Silently corrupt the controller's learned state.
+
+    The stressor the model-health watchdog exists for: NaN coordinates
+    that escaped a numerical blow-up, representatives replaced with
+    garbage, negative violation-range radii in the materialized
+    geometry cache, non-finite step-histogram samples, a degenerated
+    beta. Nothing raises — the damage only shows when the model is next
+    used, exactly like real silent corruption.
+
+    Registered as a middleware *after* the controller; poisons on
+    period boundaries with a per-period probability that is a pure
+    function of ``(seed, tick)``, so fault scripts are identical across
+    policy variants.
+
+    Parameters
+    ----------
+    controller:
+        The :class:`~repro.core.controller.StayAway` whose model is
+        poisoned.
+    seed / probability:
+        Seeded per-period poisoning probability.
+    kinds:
+        Poison kinds to draw from (default: all).
+    """
+
+    KINDS: Tuple[str, ...] = (
+        "nan-coords",
+        "garbage-coords",
+        "nan-representative",
+        "negative-radius",
+        "nan-histogram",
+        "nan-beta",
+    )
+
+    def __init__(
+        self,
+        controller,
+        seed: int = 0,
+        probability: float = 0.02,
+        kinds: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.controller = controller
+        self.seed = seed
+        self.probability = probability
+        self.kinds = tuple(kinds) if kinds is not None else self.KINDS
+        unknown = set(self.kinds) - set(self.KINDS)
+        if unknown:
+            raise ValueError(f"unknown poison kinds: {sorted(unknown)}")
+        self.fired: List[FaultEvent] = []
+
+    def on_tick(self, snapshot: HostSnapshot, host: Host) -> None:
+        tick = snapshot.tick
+        if tick % self.controller.config.period != 0:
+            return
+        rng = np.random.default_rng([self.seed, tick])
+        if rng.uniform() >= self.probability:
+            return
+        kind = str(rng.choice(self.kinds))
+        if self._poison(kind, rng):
+            self.fired.append(
+                FaultEvent(tick=tick, kind=f"poison-{kind}", target="model")
+            )
+
+    def _poison(self, kind: str, rng: np.random.Generator) -> bool:
+        """Apply one poison; returns False when there is nothing to hit."""
+        controller = self.controller
+        space = controller.state_space
+        if kind in ("nan-coords", "garbage-coords"):
+            n = int(space.coords.shape[0])
+            if n == 0:
+                return False
+            index = int(rng.integers(n))
+            value = float("nan") if kind == "nan-coords" else 1e9
+            space.coords[index] = value
+            return True
+        if kind == "nan-representative":
+            points = space.representatives._points
+            if not points:
+                return False
+            index = int(rng.integers(len(points)))
+            points[index] = points[index].copy()
+            points[index][0] = float("nan")
+            # Poison the backing store *and* drop the matrix cache so
+            # the damage is visible immediately, as a real in-place
+            # corruption of the live arrays would be.
+            space.representatives._matrix = None
+            return True
+        if kind == "negative-radius":
+            geometry = space._geometry
+            if geometry is None or geometry.radii.size == 0:
+                return False
+            index = int(rng.integers(geometry.radii.size))
+            geometry.radii[index] = -abs(float(geometry.radii[index])) - 1.0
+            return True
+        if kind == "nan-histogram":
+            models = [
+                model
+                for model in controller.predictor.modes.models.values()
+                if len(model.distances.samples)
+            ]
+            if not models:
+                return False
+            model = models[int(rng.integers(len(models)))]
+            model.distances._samples.append(float("nan"))
+            return True
+        if kind == "nan-beta":
+            controller.throttle.beta = float("nan")
+            return True
+        raise AssertionError(kind)
+
+
+# ---------------------------------------------------------------------------
 # Invariant checking
 # ---------------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ import pytest
 from repro.core.checkpoint import (
     CheckpointError,
     ControllerCheckpoint,
+    cleanup_stale_tmp,
     restore_checkpoint,
     save_checkpoint,
 )
@@ -77,6 +78,29 @@ class TestCorruptionDetection:
         path.write_text(json.dumps({"hello": "world"}))
         with pytest.raises(CheckpointError, match="not a Stay-Away checkpoint"):
             ControllerCheckpoint.load(path)
+
+    def test_missing_file_wrapped_as_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="unreadable"):
+            ControllerCheckpoint.load(tmp_path / "absent.ckpt")
+
+
+class TestStaleTmpCleanup:
+    def test_cleanup_removes_crash_debris(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        stale = tmp_path / "state.ckpt.tmp"
+        stale.write_text("half-written")
+        assert cleanup_stale_tmp(path)
+        assert not stale.exists()
+        assert not cleanup_stale_tmp(path)  # idempotent
+
+    def test_load_sweeps_stale_tmp_sibling(self, tmp_path):
+        controller, _, _ = learned_controller()
+        path = save_checkpoint(controller, tmp_path / "state.ckpt")
+        stale = tmp_path / "state.ckpt.tmp"
+        stale.write_text("debris from a crash mid-save")
+        loaded = ControllerCheckpoint.load(path)
+        assert not stale.exists()
+        assert loaded.payload == ControllerCheckpoint.capture(controller).payload
 
     def test_unsupported_version_detected(self, tmp_path):
         controller, _, _ = learned_controller()

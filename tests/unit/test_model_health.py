@@ -1,0 +1,224 @@
+"""Model-health watchdog decisions (core/model_health.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.core.events import EventKind
+from repro.core.model_health import ModelHealthWatchdog
+from repro.sim.container import Container
+from repro.sim.engine import SimulationEngine
+from repro.sim.host import Host
+from repro.sim.resources import ResourceVector
+
+from tests.conftest import ConstantApp, SensitiveStub
+
+
+def learned_controller(ticks=80, seed=9, **config_kwargs):
+    """A controller with learned state and its built-in watchdog off —
+    each test drives its own :func:`fresh_watchdog` in isolation."""
+    config_kwargs.setdefault("model_watchdog", False)
+    host = Host()
+    sensitive = SensitiveStub(demand_vector=ResourceVector(cpu=3.0, memory=500.0))
+    bomb = ConstantApp(name="bomb", demand_vector=ResourceVector(cpu=4.0, memory=64.0))
+    host.add_container(Container(name="sens", app=sensitive, sensitive=True))
+    host.add_container(Container(name="bomb", app=bomb, start_tick=5))
+    controller = StayAway(
+        sensitive, config=StayAwayConfig(seed=seed, **config_kwargs)
+    )
+    engine = SimulationEngine(host, [controller])
+    engine.run(ticks=ticks)
+    return controller
+
+
+def fresh_watchdog(controller, snapshot_tick=None):
+    """A watchdog with its own event log view, optionally pre-snapshotted."""
+    watchdog = ModelHealthWatchdog(
+        controller.config, controller.events, telemetry=controller.telemetry
+    )
+    if snapshot_tick is not None:
+        assert watchdog.maybe_snapshot(snapshot_tick, controller)
+    return watchdog
+
+
+class TestInspect:
+    def test_clean_model_passes_every_check(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        report = watchdog.inspect(100, controller)
+        assert report.ok
+        assert report.bad_states == []
+        assert not report.structural
+
+    def test_nan_coordinate_flags_the_row(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.state_space.coords[1] = np.nan
+        report = watchdog.inspect(100, controller)
+        assert not report.ok
+        assert report.bad_states == [1]
+        assert not report.structural
+
+    def test_absurd_magnitude_coordinate_flags_the_row(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.state_space.coords[0] = 1e9
+        report = watchdog.inspect(100, controller)
+        assert report.bad_states == [0]
+
+    def test_nan_representative_flags_the_row(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        reps = controller.state_space.representatives
+        reps._points[1][0] = float("nan")
+        reps._matrix = None
+        report = watchdog.inspect(100, controller)
+        assert 1 in report.bad_states
+
+    def test_length_mismatch_is_structural(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.state_space.labels.append(controller.state_space.labels[-1])
+        report = watchdog.inspect(100, controller)
+        assert report.structural
+
+    def test_poisoned_geometry_cache_is_cache_only(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        geometry = controller.state_space.geometry()
+        if geometry.radii.size == 0:
+            pytest.skip("run produced no violation states")
+        geometry.radii[0] = -1.0
+        report = watchdog.inspect(100, controller)
+        assert report.cache_poisoned
+        assert report.bad_states == []
+
+    def test_nan_histogram_flags_the_mode_model(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        model = next(
+            m
+            for m in controller.predictor.modes.models.values()
+            if len(m.distances.samples)
+        )
+        model.distances._samples.append(float("nan"))
+        report = watchdog.inspect(100, controller)
+        assert report.bad_modes
+
+    def test_degenerate_beta_flagged(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.throttle.beta = float("nan")
+        report = watchdog.inspect(100, controller)
+        assert report.beta_bad
+
+
+class TestHeal:
+    def test_bad_rows_quarantined_when_enabled(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        before = len(controller.state_space)
+        controller.state_space.coords[1] = np.nan
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["quarantine"]
+        assert len(controller.state_space) == before - 1
+        assert np.isfinite(controller.state_space.coords).all()
+        assert controller.events.count(EventKind.MODEL_QUARANTINE) == 1
+
+    def test_quarantine_disabled_falls_back_to_rollback(self):
+        controller = learned_controller(watchdog_quarantine=False)
+        watchdog = fresh_watchdog(controller, snapshot_tick=90)
+        controller.state_space.coords[1] = np.nan
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["rollback"]
+        assert np.isfinite(controller.state_space.coords).all()
+        assert controller.events.count(EventKind.MODEL_ROLLBACK) == 1
+
+    def test_structural_damage_rolls_back_to_last_good(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller, snapshot_tick=90)
+        good_count = len(controller.state_space)
+        controller.state_space.labels.append(controller.state_space.labels[-1])
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["rollback"]
+        assert len(controller.state_space.labels) == good_count
+
+    def test_rollback_without_snapshot_hard_resets(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)  # no snapshot taken
+        controller.state_space.labels.append(controller.state_space.labels[-1])
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["reset"]
+        assert len(controller.state_space) == 0
+        assert watchdog.resets == 1
+
+    def test_cache_poisoning_heals_by_rebuild_only(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller, snapshot_tick=90)
+        geometry = controller.state_space.geometry()
+        if geometry.radii.size == 0:
+            pytest.skip("run produced no violation states")
+        geometry.radii[0] = -5.0
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["geometry-rebuild"]
+        rebuilt = controller.state_space.geometry()
+        assert (rebuilt.radii >= 0).all()
+        assert watchdog.rollbacks == 0
+
+    def test_beta_reset(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.throttle.beta = float("inf")
+        actions = watchdog.check_and_heal(100, controller)
+        assert "beta-reset" in actions
+        assert controller.throttle.beta == controller.config.beta_initial
+
+    def test_poisoned_histogram_rolls_back_clean(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller, snapshot_tick=90)
+        model = next(
+            m
+            for m in controller.predictor.modes.models.values()
+            if len(m.distances.samples)
+        )
+        model.distances._samples.append(float("nan"))
+        actions = watchdog.check_and_heal(100, controller)
+        assert actions == ["rollback"]
+        for m in controller.predictor.modes.models.values():
+            assert np.isfinite(m.distances.samples).all()
+
+
+class TestSnapshots:
+    def test_snapshot_respects_interval(self):
+        controller = learned_controller(snapshot_interval=50)
+        watchdog = fresh_watchdog(controller)
+        period = controller.config.period
+        assert watchdog.maybe_snapshot(100, controller)
+        assert not watchdog.maybe_snapshot(100 + period, controller)
+        assert watchdog.maybe_snapshot(100 + 50 * period, controller)
+        assert controller.events.count(EventKind.MODEL_SNAPSHOT) == 2
+
+    def test_check_and_heal_snapshots_only_clean_models(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.state_space.coords[0] = np.nan
+        watchdog.check_and_heal(100, controller)
+        # The poisoned inspection never became the last-good snapshot...
+        first_good = watchdog.last_good
+        # ...but the next clean period does.
+        watchdog.check_and_heal(101, controller)
+        assert watchdog.last_good is not None
+        assert first_good is None or watchdog.last_good is not first_good
+
+    def test_summary_counters(self):
+        controller = learned_controller()
+        watchdog = fresh_watchdog(controller)
+        controller.state_space.coords[0] = np.nan
+        watchdog.check_and_heal(100, controller)
+        summary = watchdog.summary()
+        assert summary["checks"] == 1
+        assert summary["violations"] == 1
+        assert summary["quarantines"] == 1

@@ -28,6 +28,7 @@ from tools.sacheck.engine import module_name, parse_suppressions
 from tools.sacheck.layering import LayeringRule, build_import_graph, layer_edges
 from tools.sacheck.rules import (
     AdHocTelemetryRule,
+    BroadExceptRule,
     ConfigValidationRule,
     FloatEqualityRule,
     GlobalRngRule,
@@ -260,6 +261,55 @@ def test_sa107_requires_validator_or_docstring_entry():
 def test_sa107_only_targets_the_config_module():
     src = "class StayAwayConfig:\n    orphan: int = 1\n"
     assert check(src, ConfigValidationRule(), rel_path=CORE) == []
+
+
+# -- SA108 broad except ----------------------------------------------------
+
+
+def test_sa108_flags_broad_and_bare_excepts():
+    src = """
+    try:
+        risky()
+    except Exception:
+        pass
+    try:
+        risky()
+    except:
+        pass
+    try:
+        risky()
+    except (ValueError, BaseException) as exc:
+        raise exc
+    """
+    findings = check(src, BroadExceptRule())
+    assert [f.rule for f in findings] == ["SA108"] * 3
+    assert "except Exception" in findings[0].message
+    assert "bare except" in findings[1].message
+    assert "except BaseException" in findings[2].message
+
+
+def test_sa108_allows_narrow_handlers_and_justified_suppressions():
+    src = """
+    try:
+        risky()
+    except (ValueError, OSError):
+        pass
+    try:
+        risky()
+    except Exception:  # sacheck: disable=SA108 -- stage firewall boundary
+        pass
+    """
+    findings, ctx = scan_source(
+        textwrap.dedent(src), [BroadExceptRule()], rel_path=CORE
+    )
+    assert findings == []
+    assert [f.rule for f in ctx.suppressed] == ["SA108"]
+
+
+def test_sa108_only_targets_repro_modules():
+    src = "try:\n    risky()\nexcept Exception:\n    pass\n"
+    assert check(src, BroadExceptRule(), rel_path="tools/sacheck/cli.py") == []
+    assert check(src, BroadExceptRule(), rel_path="tests/unit/test_x.py") == []
 
 
 # -- suppressions ----------------------------------------------------------

@@ -212,6 +212,9 @@ class Rule:
     def visit_classdef(self, node: ast.ClassDef, ctx: FileContext, walker: "RuleWalker") -> Iterable[Finding]:
         return ()
 
+    def visit_excepthandler(self, node: ast.ExceptHandler, ctx: FileContext, walker: "RuleWalker") -> Iterable[Finding]:
+        return ()
+
     def make_finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
         lineno = getattr(node, "lineno", 0)
         return Finding(
@@ -284,6 +287,9 @@ class RuleWalker:
             elif isinstance(child, ast.ClassDef):
                 for rule in rules:
                     findings.extend(rule.visit_classdef(child, ctx, self))
+            elif isinstance(child, ast.ExceptHandler):
+                for rule in rules:
+                    findings.extend(rule.visit_excepthandler(child, ctx, self))
 
             is_function = isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
             if is_function:

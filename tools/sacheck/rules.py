@@ -1,12 +1,13 @@
-"""The Stay-Away invariant rules (SA101–SA107).
+"""The Stay-Away invariant rules (SA101–SA108).
 
 Each rule encodes an invariant of the reproduction that the test suite
 cannot see directly — determinism of the controller (SA101/SA102),
 architectural layering (SA103, in :mod:`tools.sacheck.layering`),
 Python footguns that corrupt learned state (SA104), numerical safety
-(SA105), telemetry discipline (SA106) and config auditability (SA107).
-``docs/STATIC_ANALYSIS.md`` ties every rule back to the paper section
-or design document it protects.
+(SA105), telemetry discipline (SA106), config auditability (SA107) and
+exception-handling discipline (SA108).  ``docs/STATIC_ANALYSIS.md``
+ties every rule back to the paper section or design document it
+protects.
 """
 
 from __future__ import annotations
@@ -310,6 +311,58 @@ class ConfigValidationRule(Rule):
         return set()
 
 
+class BroadExceptRule(Rule):
+    """SA108 — no unjustified broad/bare ``except`` in ``repro.*``.
+
+    A ``except Exception`` that swallows whatever went wrong is how
+    silent model corruption and dropped fault context happen (the exact
+    failure mode PR-5's watchdog exists to catch).  The sanctioned
+    broad handlers — the controller's stage firewall, the chaos
+    CrashGuard — are *deliberate* containment boundaries and carry a
+    ``# sacheck: disable=SA108 -- <why>`` justification (or a baseline
+    entry); everything else must catch the narrowest type that can
+    actually occur.
+    """
+
+    id = "SA108"
+    name = "no-broad-except"
+    rationale = (
+        "broad exception handlers hide fault context; containment "
+        "boundaries must be explicit (justified suppression), all other "
+        "handlers catch narrow types"
+    )
+
+    BROAD = {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module.startswith("repro.")
+
+    def _broad_name(self, node: ast.ExceptHandler, ctx: FileContext) -> str:
+        """The offending spelling, or '' when the handler is narrow."""
+        if node.type is None:
+            return "bare except"
+        candidates = (
+            node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        )
+        for candidate in candidates:
+            resolved = ctx.resolve(candidate)
+            if resolved in self.BROAD:
+                return f"except {resolved.rsplit('.', 1)[-1]}"
+        return ""
+
+    def visit_excepthandler(
+        self, node: ast.ExceptHandler, ctx: FileContext, walker: RuleWalker
+    ) -> Iterable[Finding]:
+        spelling = self._broad_name(node, ctx)
+        if spelling:
+            yield self.make_finding(
+                ctx, node,
+                f"{spelling} without justification; catch the narrowest "
+                "exception type, or mark a deliberate containment boundary "
+                "with '# sacheck: disable=SA108 -- <why>'",
+            )
+
+
 def default_rules() -> List[Rule]:
     """All rules in ID order (SA103 lives in tools.sacheck.layering)."""
     from tools.sacheck.layering import LayeringRule
@@ -322,6 +375,7 @@ def default_rules() -> List[Rule]:
         FloatEqualityRule(),
         AdHocTelemetryRule(),
         ConfigValidationRule(),
+        BroadExceptRule(),
     ]
 
 
