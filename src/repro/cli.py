@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from repro.analysis.reports import ascii_table
 from repro.core.config import StayAwayConfig
+from repro.experiments.chaos import FleetMix, run_fleet_comparison
 from repro.experiments.runner import run_scenario, run_trio
 from repro.experiments.scenarios import Scenario
 from repro.workloads.registry import SENSITIVE_WORKLOADS, available_workloads
@@ -80,6 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_args(template_parser)
     template_parser.add_argument("--out", required=True,
                                  help="output template path")
+
+    fleet_parser = sub.add_parser(
+        "fleet", help="run the fleet chaos drill (coordinator vs per-host vs none)"
+    )
+    fleet_parser.add_argument("--hosts", type=int, default=12,
+                              help="fleet size (default 12)")
+    fleet_parser.add_argument("--ticks", type=int, default=240,
+                              help="chaos-phase ticks (default 240)")
+    fleet_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    fleet_parser.add_argument("--host-crash", type=float, default=0.002,
+                              help="per-host per-tick crash probability")
+    fleet_parser.add_argument("--blackout", type=float, default=0.01,
+                              help="per-host per-tick telemetry-blackout probability")
     return parser
 
 
@@ -224,6 +238,45 @@ def cmd_template(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace, out) -> int:
+    mix = FleetMix(
+        hosts=args.hosts,
+        ticks=args.ticks,
+        seed=args.seed,
+        host_crash=args.host_crash,
+        blackout=args.blackout,
+    )
+    comparison = run_fleet_comparison(mix)
+    rows = []
+    for label, result in (
+        ("coordinator", comparison.coordinator),
+        ("per-host", comparison.per_host),
+        ("none", comparison.none),
+    ):
+        summary = result.summary()
+        migrations = summary.get("fleet", {}).get("migrations", {})
+        rows.append([
+            label,
+            f"{result.violation_ratio():.2%}",
+            "crash" if result.crashed_at is not None else "ok",
+            summary["crashes"]["crashes"],
+            migrations.get("committed", 0),
+            migrations.get("rolled_back", 0),
+            migrations.get("lost", 0),
+            summary["orphaned_migrations"],
+        ])
+    print(ascii_table(
+        ["arm", "violations", "coordinator", "host crashes",
+         "migrations", "rolled back", "lost", "orphaned"],
+        rows,
+    ), file=out)
+    print(
+        f"improvement over per-host: {comparison.improvement:+.4f} violation ratio",
+        file=out,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -236,4 +289,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_compare(args, out)
     if args.command == "template":
         return cmd_template(args, out)
+    if args.command == "fleet":
+        return cmd_fleet(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

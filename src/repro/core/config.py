@@ -144,6 +144,36 @@ class StayAwayConfig:
     snapshot_interval:
         Periods between automatic last-known-good model snapshots
         (taken only after a clean watchdog check).
+    fleet_score_period:
+        Ticks between fleet-coordinator scoring/placement rounds (the
+        coordinator's own control period; per-host controllers still
+        run every ``period`` ticks).
+    fleet_hot_score:
+        Interference score at or above which a host counts *hot* and
+        becomes an eviction source.
+    fleet_cold_score:
+        Interference score at or below which a host counts *cold* and
+        may receive migrated or newly admitted work. Must be strictly
+        below ``fleet_hot_score`` (the gap is the hysteresis band that
+        stops placement flapping).
+    fleet_score_smoothing:
+        EWMA weight of the newest observation in the per-host QoS
+        history term of the interference score.
+    fleet_migration_timeout:
+        Ticks a single migration attempt may stay in COPY before the
+        supervisor cancels it and retries or rolls back.
+    fleet_migration_retries:
+        Re-attempts after a failed/bounced/timed-out migration attempt
+        before the supervisor rolls back to the source for good.
+    fleet_migration_backoff:
+        Base backoff in ticks between migration attempts (doubles per
+        attempt).
+    fleet_migration_cooldown:
+        Ticks a host pair stays off-limits for new evictions after a
+        migration involving it committed or rolled back.
+    fleet_max_concurrent_migrations:
+        Cap on simultaneously supervised in-flight migrations across
+        the fleet.
     """
 
     period: int = 1
@@ -189,6 +219,15 @@ class StayAwayConfig:
     model_watchdog: bool = True
     watchdog_quarantine: bool = True
     snapshot_interval: int = 50
+    fleet_score_period: int = 5
+    fleet_hot_score: float = 0.45
+    fleet_cold_score: float = 0.25
+    fleet_score_smoothing: float = 0.2
+    fleet_migration_timeout: int = 40
+    fleet_migration_retries: int = 2
+    fleet_migration_backoff: int = 5
+    fleet_migration_cooldown: int = 25
+    fleet_max_concurrent_migrations: int = 4
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -259,6 +298,27 @@ class StayAwayConfig:
             raise ValueError("breaker_probes must be >= 1")
         if self.snapshot_interval < 1:
             raise ValueError("snapshot_interval must be >= 1")
+        if self.fleet_score_period < 1:
+            raise ValueError("fleet_score_period must be >= 1")
+        if not 0.0 < self.fleet_hot_score <= 1.0:
+            raise ValueError("fleet_hot_score must be in (0, 1]")
+        if not 0.0 <= self.fleet_cold_score < self.fleet_hot_score:
+            raise ValueError(
+                "fleet_cold_score must be in [0, fleet_hot_score); the gap "
+                "is the placement hysteresis band"
+            )
+        if not 0.0 < self.fleet_score_smoothing <= 1.0:
+            raise ValueError("fleet_score_smoothing must be in (0, 1]")
+        if self.fleet_migration_timeout < 1:
+            raise ValueError("fleet_migration_timeout must be >= 1")
+        if self.fleet_migration_retries < 0:
+            raise ValueError("fleet_migration_retries must be non-negative")
+        if self.fleet_migration_backoff < 1:
+            raise ValueError("fleet_migration_backoff must be >= 1")
+        if self.fleet_migration_cooldown < 0:
+            raise ValueError("fleet_migration_cooldown must be non-negative")
+        if self.fleet_max_concurrent_migrations < 1:
+            raise ValueError("fleet_max_concurrent_migrations must be >= 1")
 
     def vote_threshold(self) -> int:
         """Votes needed to flag an impending violation.

@@ -25,17 +25,24 @@ from typing import Optional, Tuple
 from repro.core.config import StayAwayConfig
 from repro.core.controller import StayAway
 from repro.experiments.scenarios import BuiltScenario, Scenario
+from repro.fleet import FleetCoordinator
+from repro.sim.cluster import MIGRATION_IN_FLIGHT, Cluster
+from repro.sim.container import Container
 from repro.sim.engine import SimulationEngine
 from repro.sim.faults import (
     ActuatorFaultInjector,
     ContainerFlapper,
     DemandSpiker,
+    HostCrashInjector,
     InvariantChecker,
     ModelPoisoner,
     QosDropout,
     SensorCorruptor,
     StageExceptionInjector,
+    TelemetryBlackout,
 )
+from repro.sim.host import Host
+from repro.workloads.registry import make_workload
 
 
 @dataclass(frozen=True)
@@ -551,17 +558,318 @@ def run_recovery_comparison(
     return RecoveryComparison(contained=contained, uncontained=uncontained)
 
 
+# ---------------------------------------------------------------------------
+# Fleet drills: host-failure chaos against the fleet coordinator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetMix:
+    """Knobs of one seeded fleet chaos drill.
+
+    Parameters
+    ----------
+    hosts:
+        Fleet size. Hosts cycle through four flavours (``i % 4``):
+        heavily bombed, lightly bombed, sensitive-only, and an empty
+        spare — the spare capacity is what gives a migrating
+        coordinator something a per-host controller does not have.
+    ticks:
+        Chaos phase length.
+    drain_ticks:
+        Quiet ticks appended after the chaos phase (no new crashes) so
+        in-flight migrations reach a terminal state before the
+        no-orphan invariant is checked.
+    seed:
+        Base seed; crash and blackout decisions derive from it per
+        ``(tick, host)`` so the fault script is identical across arms.
+    host_crash:
+        Per-host per-tick crash probability during the chaos phase.
+    recovery_ticks:
+        Ticks a crashed host stays down before auto-recovery.
+    max_down_fraction:
+        Cap on simultaneously down hosts.
+    blackout:
+        Per-host per-tick probability that the coordinator's telemetry
+        for that host goes dark (host itself stays up).
+    """
+
+    hosts: int = 12
+    ticks: int = 240
+    drain_ticks: int = 80
+    seed: int = 0
+    host_crash: float = 0.002
+    recovery_ticks: int = 30
+    max_down_fraction: float = 0.3
+    blackout: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.hosts < 2:
+            raise ValueError("a fleet needs at least 2 hosts")
+        if self.ticks < 1 or self.drain_ticks < 0:
+            raise ValueError("ticks must be >= 1 and drain_ticks >= 0")
+
+
+def build_fleet(mix: FleetMix) -> Tuple[Cluster, dict]:
+    """A heterogeneous fleet: bombed, clean and spare hosts.
+
+    Returns the cluster and the ``{host: sensitive app}`` mapping the
+    coordinator (or the per-host arm) needs. Each host gets fresh,
+    independently seeded application instances.
+    """
+    hosts = {}
+    sensitive = {}
+    for i in range(mix.hosts):
+        name = f"host-{i:03d}"
+        host = Host()
+        flavour = i % 4
+        if flavour != 3:
+            app = make_workload("webservice-mix", seed=mix.seed + 1000 + i)
+            app.name = f"svc-{i:03d}"
+            host.add_container(Container(name=app.name, app=app, sensitive=True))
+            sensitive[name] = app
+        if flavour == 0:
+            for j, bomb_kind in enumerate(("cpubomb", "memorybomb")):
+                bomb = make_workload(bomb_kind, seed=mix.seed + 2000 + 10 * i + j)
+                bomb.name = f"{bomb_kind}-{i:03d}"
+                host.add_container(Container(name=bomb.name, app=bomb))
+        elif flavour == 1:
+            bomb = make_workload("cpubomb", seed=mix.seed + 3000 + i)
+            bomb.name = f"cpubomb-{i:03d}"
+            host.add_container(Container(name=bomb.name, app=bomb))
+        hosts[name] = host
+    return Cluster(hosts=hosts), sensitive
+
+
+class FleetQosAudit:
+    """Arm-independent fleet QoS bookkeeping.
+
+    Polls every sensitive app's (idempotent) QoS report each tick,
+    outside any blackout wrapper, so all policy arms are measured by
+    the same instrument: blacking out the *coordinator's* view must not
+    black out the experiment's.
+    """
+
+    def __init__(self, sensitive: dict) -> None:
+        self.sensitive = dict(sensitive)
+        self.reports = 0
+        self.violations = 0
+
+    def on_cluster_tick(self, snapshots, cluster) -> None:
+        for host_name, app in self.sensitive.items():
+            if host_name not in snapshots:
+                continue  # host down: no service, but also no report
+            report = app.qos_report()
+            if report is None:
+                continue
+            self.reports += 1
+            if report.violated:
+                self.violations += 1
+
+    def violation_ratio(self) -> float:
+        """Fraction of polled reports in violation."""
+        if self.reports == 0:
+            return 0.0
+        return self.violations / self.reports
+
+
+class ClusterCrashGuard:
+    """Catch the first exception escaping a cluster middleware.
+
+    The fleet analogue of :class:`CrashGuard`: the drill must finish
+    and report even when the coordinator dies, because "the coordinator
+    stayed crash-free end to end" is an assertion the benchmark makes,
+    not an assumption it is allowed to bake in. After the first
+    exception the inner middleware is never driven again — a dead
+    control plane, frozen at its moment of death.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.crashed_at: Optional[int] = None
+        self.error: Optional[BaseException] = None
+
+    def on_cluster_tick(self, snapshots, cluster) -> None:
+        if self.crashed_at is not None:
+            return
+        try:
+            self.inner.on_cluster_tick(snapshots, cluster)
+        except Exception as exc:  # sacheck: disable=SA108 -- crash forensics: the drill must record any coordinator death and keep the cluster running to the end
+            self.crashed_at = cluster.clock.tick - 1
+            self.error = exc
+
+
+@dataclass
+class FleetDrillResult:
+    """Outcome of one fleet chaos drill arm.
+
+    Attributes
+    ----------
+    mix / arm:
+        What was run; arm is ``coordinator`` / ``per-host`` / ``none``.
+    cluster / coordinator / audit / crash_injector:
+        The run's machinery, for assertions and summaries. The
+        coordinator is None in the ``none`` arm.
+    guard:
+        The :class:`ClusterCrashGuard` around the coordinator (None in
+        the ``none`` arm); ``guard.crashed_at`` is the crash-free
+        assertion's evidence.
+    """
+
+    mix: FleetMix
+    arm: str
+    cluster: Cluster
+    coordinator: Optional[FleetCoordinator]
+    audit: FleetQosAudit
+    crash_injector: HostCrashInjector
+    guard: Optional[ClusterCrashGuard] = None
+
+    @property
+    def crashed_at(self) -> Optional[int]:
+        """Tick the coordinator died at (None = survived or no arm)."""
+        return self.guard.crashed_at if self.guard is not None else None
+
+    def violation_ratio(self) -> float:
+        """Fleet-wide sensitive QoS violation ratio (audit instrument)."""
+        return self.audit.violation_ratio()
+
+    def orphaned_migrations(self) -> list:
+        """Cluster migration records stuck ``in-flight`` after the run."""
+        return [
+            record
+            for record in self.cluster.migrations
+            if record.outcome == MIGRATION_IN_FLIGHT
+        ]
+
+    def summary(self) -> dict:
+        out = {
+            "arm": self.arm,
+            "hosts": len(self.cluster.hosts),
+            "violation_ratio": self.violation_ratio(),
+            "crashed_at": self.crashed_at,
+            "crashes": self.crash_injector.summary(),
+            "migration_records": len(self.cluster.migrations),
+            "orphaned_migrations": len(self.orphaned_migrations()),
+        }
+        if self.coordinator is not None:
+            out.update(self.coordinator.summary())
+        return out
+
+
+def run_fleet_drill(
+    mix: Optional[FleetMix] = None,
+    arm: str = "coordinator",
+    config: Optional[StayAwayConfig] = None,
+) -> FleetDrillResult:
+    """Run one fleet arm under the seeded host-failure script.
+
+    Arms: ``coordinator`` (per-host controllers + scoring + supervised
+    migration), ``per-host`` (identical controllers, migration
+    disabled) and ``none`` (no prevention at all). The crash/blackout
+    script depends only on ``(seed, tick, host)``, so all three arms
+    see the same outages.
+    """
+    mix = mix if mix is not None else FleetMix()
+    if arm not in ("coordinator", "per-host", "none"):
+        raise ValueError(f"unknown arm {arm!r}")
+    config = config if config is not None else StayAwayConfig(telemetry=False)
+    cluster, sensitive = build_fleet(mix)
+
+    audit = FleetQosAudit(sensitive)
+    cluster.add_middleware(audit)
+
+    coordinator: Optional[FleetCoordinator] = None
+    guard: Optional[ClusterCrashGuard] = None
+    if arm != "none":
+        coordinator = FleetCoordinator(
+            sensitive, config=config, migrate=(arm == "coordinator")
+        )
+        target = coordinator
+        if mix.blackout > 0:
+            target = TelemetryBlackout(
+                coordinator, seed=mix.seed + 11, probability=mix.blackout
+            )
+        guard = ClusterCrashGuard(target)
+        cluster.add_middleware(guard)
+
+    crash_injector = HostCrashInjector(
+        seed=mix.seed + 23,
+        probability=mix.host_crash,
+        recovery_ticks=mix.recovery_ticks,
+        max_down_fraction=mix.max_down_fraction,
+    )
+    cluster.add_middleware(crash_injector)
+
+    cluster.run(mix.ticks)
+    # Drain: stop injecting, let recoveries land and migrations settle.
+    crash_injector.probability = 0.0
+    cluster.run(mix.drain_ticks)
+
+    return FleetDrillResult(
+        mix=mix,
+        arm=arm,
+        cluster=cluster,
+        coordinator=coordinator,
+        audit=audit,
+        crash_injector=crash_injector,
+        guard=guard,
+    )
+
+
+@dataclass
+class FleetComparison:
+    """All three fleet arms under the identical fault script."""
+
+    coordinator: FleetDrillResult
+    per_host: FleetDrillResult
+    none: FleetDrillResult
+
+    @property
+    def improvement(self) -> float:
+        """Violation-ratio reduction of coordinator over per-host-only."""
+        return (
+            self.per_host.violation_ratio() - self.coordinator.violation_ratio()
+        )
+
+    def summary(self) -> dict:
+        return {
+            "coordinator": self.coordinator.summary(),
+            "per_host": self.per_host.summary(),
+            "none": self.none.summary(),
+            "improvement": self.improvement,
+        }
+
+
+def run_fleet_comparison(
+    mix: Optional[FleetMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> FleetComparison:
+    """Run the same seeded host-failure script across all three arms."""
+    return FleetComparison(
+        coordinator=run_fleet_drill(mix, arm="coordinator", config=config),
+        per_host=run_fleet_drill(mix, arm="per-host", config=config),
+        none=run_fleet_drill(mix, arm="none", config=config),
+    )
+
+
 __all__ = [
     "ChaosComparison",
     "ChaosMix",
     "ChaosResult",
+    "ClusterCrashGuard",
     "ContainmentMix",
     "ControllerCrash",
     "CrashGuard",
+    "FleetComparison",
+    "FleetDrillResult",
+    "FleetMix",
+    "FleetQosAudit",
     "RecoveryComparison",
     "RecoveryDrillResult",
+    "build_fleet",
     "run_chaos",
     "run_chaos_comparison",
+    "run_fleet_comparison",
+    "run_fleet_drill",
     "run_recovery_drill",
     "run_recovery_comparison",
     "uncontained_config",

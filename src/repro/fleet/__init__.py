@@ -1,0 +1,44 @@
+"""Fleet control plane: many Stay-Away hosts, one coordinator.
+
+The paper scopes Stay-Away to a single host and explicitly defers the
+cluster dimension ("complements cluster schedulers", §2.1; naive
+migration dismissed as slow/costly, §8). This package supplies that
+dimension as a :class:`~repro.sim.cluster.Cluster` middleware built to
+stay correct under failure:
+
+* :mod:`repro.fleet.coordinator` — :class:`FleetCoordinator` runs one
+  Stay-Away controller per host behind an isolation cell
+  (:class:`HostControllerCell`): an uncaught controller exception or a
+  tripped cell breaker degrades *that host* to a reactive pause/resume
+  policy instead of unwinding the coordinator.
+* :mod:`repro.fleet.scoring` — :class:`InterferenceScorer` folds each
+  host's predicted violation probability, observed-QoS history and CPU
+  utilization into one score driving evict-from-hot / admit-on-cold
+  placement with a hysteresis band.
+* :mod:`repro.fleet.migration` — :class:`MigrationSupervisor` turns the
+  simulator's fire-and-forget migration primitive into a supervised
+  PREPARE → COPY → LAND → COMMIT state machine with per-attempt
+  timeout, bounded retry with exponential backoff, and
+  rollback-to-source when the destination dies mid-copy.
+
+Layering: fleet may import ``core``, ``sim`` and ``monitoring``;
+nothing below it may import fleet (enforced by sacheck SA103).
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, HostControllerCell
+from repro.fleet.migration import (
+    MigrationState,
+    MigrationSupervisor,
+    SupervisedMigration,
+)
+from repro.fleet.scoring import HostScore, InterferenceScorer
+
+__all__ = [
+    "FleetCoordinator",
+    "HostControllerCell",
+    "HostScore",
+    "InterferenceScorer",
+    "MigrationState",
+    "MigrationSupervisor",
+    "SupervisedMigration",
+]

@@ -1,0 +1,429 @@
+"""The fleet coordinator and its per-host isolation cells.
+
+One Stay-Away controller per host, one coordinator per fleet. The
+coordinator is a cluster middleware
+(:meth:`FleetCoordinator.on_cluster_tick`); each host's controller
+runs inside a :class:`HostControllerCell` behind its own circuit
+breaker, so a crashing or poisoned controller degrades *that host* to
+a reactive pause/resume policy while the rest of the fleet keeps its
+predictive controllers — the same containment philosophy as the
+in-controller stage firewall (PR 5), lifted one level up.
+
+Failure semantics, by layer:
+
+* controller raises → the cell catches, counts the crash against its
+  breaker, and serves the reactive fallback this tick;
+* breaker OPEN → the controller is skipped entirely until the
+  cooldown's HALF_OPEN probes pass (a genuinely poisoned controller
+  stays degraded forever);
+* host crash / telemetry blackout → no snapshot arrives, the cell is
+  simply not driven, and the host's score goes stale — stale hosts are
+  excluded from placement decisions (no telemetry is *not* treated as
+  safe);
+* migration failures → owned entirely by the
+  :class:`~repro.fleet.migration.MigrationSupervisor`.
+
+The ``sensitive`` mapping passed to the coordinator is duck-typed
+(host name → sensitive application object) so this layer never imports
+``workloads``; anything accepted by
+:class:`~repro.core.controller.StayAway` works.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.core.breakers import CircuitBreaker
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.core.events import EventLog
+from repro.fleet.migration import MigrationSupervisor
+from repro.fleet.scoring import HostScore, InterferenceScorer
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:
+    from repro.sim.cluster import Cluster
+    from repro.sim.host import Host, HostSnapshot
+
+
+class HostControllerCell:
+    """One host's controller, behind its own crash firewall + breaker.
+
+    Parameters
+    ----------
+    host_name:
+        The host this cell controls.
+    controller:
+        The host's :class:`~repro.core.controller.StayAway` instance.
+    breaker:
+        The cell-level circuit breaker gating the controller.
+    fallback_resume_after:
+        Consecutive violation-free ticks before the reactive fallback
+        resumes the containers it paused.
+    """
+
+    def __init__(
+        self,
+        host_name: str,
+        controller: StayAway,
+        breaker: CircuitBreaker,
+        fallback_resume_after: int = 10,
+    ) -> None:
+        if fallback_resume_after < 1:
+            raise ValueError("fallback_resume_after must be >= 1")
+        self.host_name = host_name
+        self.controller = controller
+        self.breaker = breaker
+        self.fallback_resume_after = fallback_resume_after
+        self.crashes = 0
+        self.fallback_ticks = 0
+        self._fallback_paused: Set[str] = set()
+        self._clean_streak = 0
+        self._last_run_ok = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the cell is currently serving the reactive fallback."""
+        return not self._last_run_ok
+
+    def observe(self, snapshot: "HostSnapshot", host: "Host") -> None:
+        """Drive one tick: predictive controller if healthy, else fallback."""
+        tick = snapshot.tick
+        if self.breaker.allows(tick):
+            try:
+                self.controller.on_tick(snapshot, host)
+                self.breaker.record_success(tick)
+                self._last_run_ok = True
+                return
+            except Exception:  # sacheck: disable=SA108 -- cell firewall: any controller exception must degrade this host, not unwind the fleet coordinator
+                self.crashes += 1
+                self.breaker.record_failure(tick)
+                self._last_run_ok = False
+        else:
+            self._last_run_ok = False
+        self._fallback(snapshot, host)
+
+    def _fallback(self, snapshot: "HostSnapshot", host: "Host") -> None:
+        """Reactive policy: pause batch on observed violation, resume later."""
+        self.fallback_ticks += 1
+        try:
+            self.controller.qos.on_tick(snapshot, host)
+        except Exception:  # sacheck: disable=SA108 -- keep polling even a faulty QoS channel; the fallback then acts on the last good reading
+            pass
+        if self.controller.qos.violation_now:
+            self._clean_streak = 0
+            for name, container in host.containers.items():
+                if not container.sensitive and container.is_running:
+                    container.pause()
+                    self._fallback_paused.add(name)
+            return
+        self._clean_streak += 1
+        if self._clean_streak >= self.fallback_resume_after and self._fallback_paused:
+            for name in sorted(self._fallback_paused):
+                container = host.containers.get(name)
+                if container is not None and container.is_paused:
+                    container.resume()
+            self._fallback_paused.clear()
+
+    def predicted_risk(self) -> float:
+        """Predicted violation probability from the last healthy period.
+
+        While the controller is actively throttling, the risk is 1.0:
+        the throttle *is* the controller's judgement that interference
+        would violate QoS — a host whose QoS looks clean only because
+        batch work sits paused is hot, not cold, and hiding that from
+        the scorer would make suppressed hosts attract more work.
+        Zero while degraded — the scorer's observed-QoS term carries
+        the signal when the predictive path is down.
+        """
+        if not self._last_run_ok:
+            return 0.0
+        if self.controller.throttle.throttling:
+            return 1.0
+        prediction = self.controller.last_prediction
+        if prediction is None or not prediction.ready:
+            return 0.0
+        n = max(1, self.controller.config.n_samples)
+        return min(1.0, prediction.votes / n)
+
+    @property
+    def violation_now(self) -> bool:
+        """The host's sensitive app is violating QoS right now."""
+        return bool(self.controller.qos.violation_now)
+
+    def summary(self) -> dict:
+        """Cell health: crashes, breaker state, fallback activity."""
+        return {
+            "host": self.host_name,
+            "crashes": self.crashes,
+            "degraded": self.degraded,
+            "breaker": self.breaker.state.value,
+            "fallback_ticks": self.fallback_ticks,
+        }
+
+
+class FleetCoordinator:
+    """Cluster middleware running one isolated controller per host.
+
+    Parameters
+    ----------
+    sensitive:
+        ``{host name: sensitive application}`` — which hosts get a
+        predictive controller cell. Hosts absent from the mapping are
+        scored by utilization only and never evicted from (nothing
+        there to protect) — and they are the only eviction *targets*,
+        so interference is moved away from sensitive work, not onto a
+        different host's sensitive work.
+    config:
+        Shared :class:`~repro.core.config.StayAwayConfig`; the
+        ``fleet_*`` knobs configure scoring and migration supervision.
+    migrate:
+        When False the coordinator observes and scores but never moves
+        work — the per-host-only ablation arm of ``bench_fleet``.
+    controller_factory:
+        ``(host_name, sensitive_app) -> StayAway`` override, e.g. to
+        share a map template across hosts.
+    scorer:
+        :class:`~repro.fleet.scoring.InterferenceScorer` override.
+    """
+
+    def __init__(
+        self,
+        sensitive: Dict[str, object],
+        config: Optional[StayAwayConfig] = None,
+        migrate: bool = True,
+        controller_factory=None,
+        scorer: Optional[InterferenceScorer] = None,
+    ) -> None:
+        self.config = config if config is not None else StayAwayConfig()
+        self.sensitive = dict(sensitive)
+        self.migrate_enabled = migrate
+        self._factory = controller_factory or (
+            lambda host, app: StayAway(app, config=self.config)
+        )
+        self.scorer = scorer or InterferenceScorer(
+            smoothing=self.config.fleet_score_smoothing
+        )
+        self.events = EventLog()
+        self.cells: Dict[str, HostControllerCell] = {}
+        self.supervisor: Optional[MigrationSupervisor] = None
+        self.cluster: Optional["Cluster"] = None
+        self._cooldown_until: Dict[str, int] = {}
+        self.ticks_seen = 0
+
+    # -- wiring ------------------------------------------------------------
+    def _bind(self, cluster: "Cluster") -> None:
+        if self.cluster is cluster:
+            return
+        if self.cluster is not None:
+            raise ValueError("coordinator is already bound to another cluster")
+        self.cluster = cluster
+        self.supervisor = MigrationSupervisor(
+            cluster,
+            timeout=self.config.fleet_migration_timeout,
+            retries=self.config.fleet_migration_retries,
+            backoff=self.config.fleet_migration_backoff,
+            max_concurrent=self.config.fleet_max_concurrent_migrations,
+        )
+        for host_name, app in sorted(self.sensitive.items()):
+            if host_name not in cluster.hosts:
+                raise ValueError(f"sensitive mapping names unknown host {host_name!r}")
+            breaker = CircuitBreaker(
+                stage=f"cell:{host_name}",
+                events=self.events,
+                error_budget=self.config.breaker_error_budget,
+                window_ticks=self.config.breaker_window,
+                cooldown_ticks=self.config.breaker_cooldown,
+                probes=self.config.breaker_probes,
+            )
+            self.cells[host_name] = HostControllerCell(
+                host_name, self._factory(host_name, app), breaker
+            )
+
+    # -- middleware interface ----------------------------------------------
+    def on_cluster_tick(
+        self, snapshots: Dict[str, "HostSnapshot"], cluster: "Cluster"
+    ) -> None:
+        """One fleet round: drive cells, score, supervise, place."""
+        self._bind(cluster)
+        tick = cluster.clock.tick - 1  # the tick the snapshots describe
+        self.ticks_seen += 1
+        for host_name, snapshot in snapshots.items():
+            host = cluster.hosts.get(host_name)
+            if host is None:
+                continue
+            cell = self.cells.get(host_name)
+            if cell is not None:
+                cell.observe(snapshot, host)
+            predicted = cell.predicted_risk() if cell is not None else 0.0
+            violated = cell.violation_now if cell is not None else False
+            utilization = snapshot.cpu_utilization(host.capacity)
+            self.scorer.observe(host_name, predicted, violated, utilization, tick)
+        self.supervisor.poll(tick)
+        if self.migrate_enabled and tick % self.config.fleet_score_period == 0:
+            self._placement_round(tick, snapshots, cluster)
+
+    # -- placement ----------------------------------------------------------
+    def _fresh_scores(
+        self, tick: int, snapshots: Dict[str, "HostSnapshot"], cluster: "Cluster"
+    ) -> Dict[str, HostScore]:
+        """Scores backed by this tick's telemetry on up hosts only.
+
+        A host that is down or blacked out has no fresh snapshot and is
+        excluded — the coordinator never places work based on stale
+        data.
+        """
+        return {
+            name: score
+            for name, score in self.scorer.scores().items()
+            if score.tick == tick
+            and name in snapshots
+            and cluster.host_is_up(name)
+        }
+
+    def _eviction_victim(
+        self, host_name: str, snapshot: "HostSnapshot", cluster: "Cluster"
+    ) -> Optional[str]:
+        """Heaviest batch container on the host, if any.
+
+        Paused containers are eligible — a bomb the throttle is sitting
+        on is the *best* thing to move (zero downtime cost to it, and
+        shipping it out lets the source host stop throttling at all).
+        Weight is observed CPU usage, falling back to demand for paused
+        containers whose usage reads zero.
+        """
+        host = cluster.hosts[host_name]
+        best: Optional[Tuple[float, str]] = None
+        for name in sorted(host.containers):
+            container = host.containers[name]
+            if container.sensitive or self.supervisor.supervising(name):
+                continue
+            if not (container.is_running or container.is_paused):
+                continue
+            weight = (
+                snapshot.usage[name].get(Resource.CPU)
+                if name in snapshot.usage
+                else 0.0
+            )
+            if weight <= 0.0:
+                weight = container.app.demand(cluster.clock).get(Resource.CPU)
+            if best is None or weight > best[0]:
+                best = (weight, name)
+        return best[1] if best is not None else None
+
+    def _placement_round(
+        self, tick: int, snapshots: Dict[str, "HostSnapshot"], cluster: "Cluster"
+    ) -> None:
+        scores = self._fresh_scores(tick, snapshots, cluster)
+        hot = sorted(
+            (s for s in scores.values() if s.total >= self.config.fleet_hot_score),
+            key=lambda s: (-s.total, s.host),
+        )
+        # Eviction targets: cold hosts with no sensitive app and spare
+        # CPU headroom. Moving a bomb onto another sensitive host just
+        # relocates the interference — the stay-away property must hold
+        # fleet-wide, not per-host.
+        cold = sorted(
+            (
+                s
+                for s in scores.values()
+                if s.total <= self.config.fleet_cold_score
+                and s.host not in self.sensitive
+                and s.utilization < 0.75
+            ),
+            key=lambda s: (s.total, s.host),
+        )
+        for source in hot:
+            if self._cooldown_until.get(source.host, -1) > tick:
+                continue
+            victim = self._eviction_victim(source.host, snapshots[source.host], cluster)
+            if victim is None:
+                continue
+            target = next(
+                (
+                    c
+                    for c in cold
+                    if c.host != source.host
+                    and self._cooldown_until.get(c.host, -1) <= tick
+                ),
+                None,
+            )
+            if target is None:
+                break
+            if self.supervisor.request(tick, victim, target.host) is None:
+                break
+            cold = [c for c in cold if c.host != target.host]
+            until = tick + self.config.fleet_migration_cooldown
+            self._cooldown_until[source.host] = until
+            self._cooldown_until[target.host] = until
+
+    # -- admission ----------------------------------------------------------
+    def admit(self, container, preferred: Optional[str] = None) -> str:
+        """Place a new container on the coldest up host; returns the host.
+
+        ``preferred`` is honoured when that host is up and not hot.
+        The coordinator must have seen at least one cluster tick.
+        """
+        if self.cluster is None:
+            raise ValueError("coordinator is not bound to a cluster yet")
+        scores = {
+            name: score
+            for name, score in self.scorer.scores().items()
+            if self.cluster.host_is_up(name)
+        }
+        if (
+            preferred is not None
+            and self.cluster.host_is_up(preferred)
+            and (
+                preferred not in scores
+                or scores[preferred].total < self.config.fleet_hot_score
+            )
+        ):
+            target = preferred
+        elif scores:
+            target = min(scores.values(), key=lambda s: (s.total, s.host)).host
+        else:
+            up = sorted(self.cluster.up_hosts)
+            if not up:
+                raise ValueError("no host is up to admit onto")
+            target = up[0]
+        self.cluster.hosts[target].add_container(container)
+        return target
+
+    # -- reporting ----------------------------------------------------------
+    def fleet_violation_ratio(self) -> float:
+        """Fleet-wide sensitive QoS violation ratio across all cells."""
+        violations = 0
+        reports = 0
+        for cell in self.cells.values():
+            qos = cell.controller.qos
+            violations += qos.violation_count
+            reports += len(qos.qos_series)
+        if reports == 0:
+            return 0.0
+        return violations / reports
+
+    def summary(self) -> dict:
+        """The coordinator's ``fleet`` telemetry section."""
+        scores = self.scorer.scores()
+        degraded = [c.host_name for c in self.cells.values() if c.degraded]
+        fleet: dict = {
+            "hosts": len(self.cluster.hosts) if self.cluster else 0,
+            "hosts_down": sorted(self.cluster.down) if self.cluster else [],
+            "controllers": {
+                "cells": len(self.cells),
+                "degraded": sorted(degraded),
+                "crashes": sum(c.crashes for c in self.cells.values()),
+            },
+            "migrations": self.supervisor.summary() if self.supervisor else {},
+            "qos": {"fleet_violation_ratio": self.fleet_violation_ratio()},
+            "ticks": self.ticks_seen,
+        }
+        if scores:
+            ranked = sorted(scores.values(), key=lambda s: (-s.total, s.host))
+            fleet["scores"] = {
+                "mean": sum(s.total for s in scores.values()) / len(scores),
+                "hottest": {"host": ranked[0].host, "total": ranked[0].total},
+                "coldest": {"host": ranked[-1].host, "total": ranked[-1].total},
+            }
+        return {"fleet": fleet}

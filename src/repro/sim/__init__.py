@@ -14,7 +14,12 @@ plus whatever QoS signal the applications themselves report.
 """
 
 from repro.sim.clock import SimulationClock
-from repro.sim.cluster import Cluster, MigrationRecord
+from repro.sim.cluster import (
+    Cluster,
+    ContainerLocation,
+    HostEvent,
+    MigrationRecord,
+)
 from repro.sim.container import Container, ContainerState
 from repro.sim.scheduler import (
     ConstrainedScheduler,
@@ -35,11 +40,14 @@ from repro.sim.faults import (
     ContainerFlapper,
     DemandSpiker,
     FaultSchedule,
+    HostCrashInjector,
+    HostRecoveryScript,
     InvariantBreach,
     InvariantChecker,
     MonitoringDropout,
     QosDropout,
     SensorCorruptor,
+    TelemetryBlackout,
 )
 from repro.sim.host import Host, HostSnapshot
 from repro.sim.resources import (
@@ -56,11 +64,16 @@ __all__ = [
     "ConstrainedScheduler",
     "Container",
     "ContainerFlapper",
+    "ContainerLocation",
     "DemandSpiker",
     "FaultSchedule",
+    "HostCrashInjector",
+    "HostEvent",
+    "HostRecoveryScript",
     "InvariantBreach",
     "InvariantChecker",
     "MigrationRecord",
+    "TelemetryBlackout",
     "MonitoringDropout",
     "Placement",
     "PlacementRequest",

@@ -1,38 +1,106 @@
-"""Multi-host cluster with live migration.
+"""Multi-host cluster with live migration and host-failure semantics.
 
 Stay-Away is a per-host mechanism; the paper positions it as a
 complement to cluster schedulers (§2.1) and compares against systems
 that *migrate* interfering VMs (DeepDive, §8) — noting that "VM
 migration is slow and involves a high cost". This module provides the
 substrate for those comparisons: a set of hosts stepped in lockstep on
-one shared clock, and a migration primitive with a realistic downtime
-cost (the container is unavailable while its memory image is copied).
+one shared clock, a migration primitive with a realistic downtime cost
+(the container is unavailable while its memory image is copied), and a
+host up/down lifecycle so fleet-level control planes can be drilled
+against machine crashes.
+
+Failure semantics
+-----------------
+* A **down** host (:meth:`Cluster.fail_host`) stops stepping: its
+  containers are frozen, it produces no snapshots, and it can neither
+  source nor receive migrations until :meth:`Cluster.recover_host`.
+* A **removed** host (:meth:`Cluster.remove_host`) is gone for good,
+  together with every container still on it.
+* A migration whose destination died mid-copy **bounces** back to its
+  source host; if the source is also gone the container is **lost**.
+  Every migration therefore terminates in exactly one recorded outcome
+  (``landed`` / ``bounced`` / ``lost``) — there are no orphaned
+  in-flight migrations, no matter which hosts crash.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.sim.clock import SimulationClock
 from repro.sim.container import Container
 from repro.sim.host import Host, HostSnapshot
 from repro.sim.resources import Resource, ResourceVector
 
+#: Migration outcome values recorded on :class:`MigrationRecord`.
+MIGRATION_IN_FLIGHT = "in-flight"
+MIGRATION_LANDED = "landed"
+MIGRATION_BOUNCED = "bounced"
+MIGRATION_LOST = "lost"
 
-@dataclass(frozen=True)
+
+@dataclass
 class MigrationRecord:
-    """One completed or in-flight migration."""
+    """One migration, from start to its recorded terminal outcome.
+
+    Attributes
+    ----------
+    container / source / destination:
+        What moved and between which hosts.
+    start_tick / downtime_ticks:
+        When the copy began and how long the container is unavailable.
+    outcome:
+        ``in-flight`` while copying, then exactly one of ``landed``
+        (resumed on the destination), ``bounced`` (destination
+        unavailable at landing time — returned to the source) or
+        ``lost`` (both ends unavailable; the container is gone).
+    completed_tick:
+        Tick the terminal outcome was recorded (None while in flight).
+    """
 
     container: str
     source: str
     destination: str
     start_tick: int
     downtime_ticks: int
+    outcome: str = MIGRATION_IN_FLIGHT
+    completed_tick: Optional[int] = None
 
     def done_at(self) -> int:
-        """Tick at which the container resumes on the destination."""
+        """Tick at which the container is due to resume on the destination."""
         return self.start_tick + self.downtime_ticks
+
+    @property
+    def terminal(self) -> bool:
+        """True once the migration reached a recorded final outcome."""
+        return self.outcome != MIGRATION_IN_FLIGHT
+
+
+@dataclass(frozen=True)
+class ContainerLocation:
+    """Where a container currently is, without ambiguity.
+
+    ``status`` is one of ``on-host`` (``host`` names it), ``migrating``
+    (``record`` is the in-flight migration) or ``absent`` (unknown to
+    the cluster, or lost). :meth:`Cluster.host_of` collapses the last
+    two into ``None``; use :meth:`Cluster.locate` when the difference
+    matters.
+    """
+
+    status: str
+    host: Optional[str] = None
+    record: Optional[MigrationRecord] = None
+
+
+@dataclass(frozen=True)
+class HostEvent:
+    """One host lifecycle transition (crash / recover / remove)."""
+
+    tick: int
+    kind: str
+    host: str
 
 
 @dataclass
@@ -85,6 +153,8 @@ class Cluster:
         self.migration_mb_per_tick = migration_mb_per_tick
         self.migrations: List[MigrationRecord] = []
         self.middlewares: List = []
+        self.down: Set[str] = set()
+        self.host_events: List[HostEvent] = []
         self._in_flight: List[_InFlight] = []
 
     # -- lookup ----------------------------------------------------------
@@ -92,12 +162,81 @@ class Cluster:
         """Look up a host by name."""
         return self.hosts[name]
 
+    def host_is_up(self, name: str) -> bool:
+        """Whether a host exists and is not down."""
+        return name in self.hosts and name not in self.down
+
+    @property
+    def up_hosts(self) -> List[str]:
+        """Names of hosts currently able to step, in insertion order."""
+        return [name for name in self.hosts if name not in self.down]
+
     def host_of(self, container_name: str) -> Optional[str]:
-        """Name of the host currently holding a container (None if migrating)."""
+        """Name of the host currently holding a container.
+
+        Returns ``None`` both for unknown containers and for containers
+        whose migration is in flight — use :meth:`locate` when those
+        two cases must be distinguished.
+        """
         for host_name, host in self.hosts.items():
             if container_name in host.containers:
                 return host_name
         return None
+
+    def locate(self, container_name: str) -> ContainerLocation:
+        """Unambiguous container location: on-host / migrating / absent."""
+        host_name = self.host_of(container_name)
+        if host_name is not None:
+            return ContainerLocation(status="on-host", host=host_name)
+        for flight in self._in_flight:
+            if flight.record.container == container_name:
+                return ContainerLocation(status="migrating", record=flight.record)
+        return ContainerLocation(status="absent")
+
+    # -- host lifecycle ----------------------------------------------------
+    def fail_host(self, name: str) -> bool:
+        """Crash a host: it stops stepping and its containers freeze.
+
+        Returns True when the host transitioned up -> down (False when
+        it was already down). Unknown hosts raise ``KeyError``.
+        """
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        if name in self.down:
+            return False
+        self.down.add(name)
+        self.host_events.append(
+            HostEvent(tick=self.clock.tick, kind="crash", host=name)
+        )
+        return True
+
+    def recover_host(self, name: str) -> bool:
+        """Bring a crashed host back; its containers thaw next tick.
+
+        Returns True when the host transitioned down -> up.
+        """
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        if name not in self.down:
+            return False
+        self.down.discard(name)
+        self.host_events.append(
+            HostEvent(tick=self.clock.tick, kind="recover", host=name)
+        )
+        return True
+
+    def remove_host(self, name: str) -> Host:
+        """Permanently remove a host (and everything still on it)."""
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        if len(self.hosts) == 1:
+            raise ValueError("cannot remove the last host of a cluster")
+        host = self.hosts.pop(name)
+        self.down.discard(name)
+        self.host_events.append(
+            HostEvent(tick=self.clock.tick, kind="remove", host=name)
+        )
+        return host
 
     # -- migration ---------------------------------------------------------
     def migrate(
@@ -108,13 +247,26 @@ class Cluster:
         The container is removed from its source immediately and is
         unavailable (copying its memory image) for
         ``ceil(resident_mb / migration_mb_per_tick)`` ticks, after
-        which it appears paused->running on the destination.
+        which it appears paused->running on the destination. Both ends
+        must be up: a down source has an unreachable memory image, a
+        down destination cannot receive one.
         """
-        source = self.host_of(container_name)
-        if source is None:
+        location = self.locate(container_name)
+        if location.status == "migrating":
+            raise ValueError(
+                f"container {container_name!r} is already migrating "
+                f"({location.record.source} -> {location.record.destination}, "
+                f"due tick {location.record.done_at()})"
+            )
+        if location.status == "absent":
             raise ValueError(f"container {container_name!r} not found in cluster")
+        source = location.host
+        if source in self.down:
+            raise ValueError(f"source host {source!r} is down")
         if destination not in self.hosts:
             raise ValueError(f"unknown destination host {destination!r}")
+        if destination in self.down:
+            raise ValueError(f"destination host {destination!r} is down")
         if destination == source:
             raise ValueError("destination equals source host")
 
@@ -139,15 +291,48 @@ class Cluster:
         self._in_flight.append(_InFlight(record=record, container=container))
         return record
 
+    def cancel_migration(self, record: MigrationRecord) -> str:
+        """Abort an in-flight migration, returning its recorded outcome.
+
+        The container bounces back to its source host immediately (no
+        further downtime); if the source is gone too, it is lost. Used
+        by migration supervisors to cut short a copy whose destination
+        already died instead of waiting for the scheduled landing.
+        """
+        for flight in self._in_flight:
+            if flight.record is record:
+                self._in_flight.remove(flight)
+                return self._settle(flight, prefer_destination=False)
+        raise ValueError(
+            f"migration of {record.container!r} is not in flight "
+            f"(outcome {record.outcome!r})"
+        )
+
+    def _settle(self, flight: _InFlight, prefer_destination: bool) -> str:
+        """Land, bounce or lose one due/cancelled migration."""
+        record = flight.record
+        if prefer_destination and self.host_is_up(record.destination):
+            self.hosts[record.destination].add_container(flight.container)
+            record.outcome = MIGRATION_LANDED
+        elif self.host_is_up(record.source):
+            self.hosts[record.source].add_container(flight.container)
+            record.outcome = MIGRATION_BOUNCED
+        else:
+            # Both ends unavailable: the memory image has nowhere to
+            # go. The container is gone with its hosts.
+            flight.container.stop()
+            record.outcome = MIGRATION_LOST
+        record.completed_tick = self.clock.tick
+        return record.outcome
+
     def _land_migrations(self) -> None:
-        landed: List[_InFlight] = []
+        remaining: List[_InFlight] = []
         for flight in self._in_flight:
             if self.clock.tick >= flight.record.done_at():
-                destination = self.hosts[flight.record.destination]
-                destination.add_container(flight.container)
-                landed.append(flight)
-        for flight in landed:
-            self._in_flight.remove(flight)
+                self._settle(flight, prefer_destination=True)
+            else:
+                remaining.append(flight)
+        self._in_flight = remaining
 
     @property
     def in_flight_migrations(self) -> List[MigrationRecord]:
@@ -156,11 +341,17 @@ class Cluster:
 
     # -- simulation -----------------------------------------------------------
     def step(self) -> Dict[str, HostSnapshot]:
-        """Advance every host by one shared tick."""
+        """Advance every *up* host by one shared tick.
+
+        Down hosts are skipped entirely: their containers freeze and
+        they contribute no snapshot — exactly what a monitoring plane
+        sees from a crashed machine.
+        """
         self._land_migrations()
         snapshots = {
             name: host.step(advance_clock=False)
             for name, host in self.hosts.items()
+            if name not in self.down
         }
         self.clock.advance()
         for middleware in self.middlewares:
@@ -171,7 +362,8 @@ class Cluster:
         """Register a cluster-level observer/controller.
 
         Middlewares implement ``on_cluster_tick(snapshots, cluster)``
-        and run after every cluster tick.
+        and run after every cluster tick. Snapshots of down hosts are
+        absent from the mapping.
         """
         self.middlewares.append(middleware)
 
@@ -182,10 +374,10 @@ class Cluster:
         return [self.step() for _ in range(ticks)]
 
     def total_cpu_utilization(self) -> float:
-        """Mean CPU utilization across hosts at the latest tick."""
+        """Mean CPU utilization across up hosts at the latest tick."""
         utilizations = []
-        for host in self.hosts.values():
-            if host.history:
+        for name, host in self.hosts.items():
+            if name not in self.down and host.history:
                 utilizations.append(
                     host.history[-1].cpu_utilization(host.capacity)
                 )

@@ -16,18 +16,29 @@ Two layers:
   resilience layer (sensor guard, degraded modes, reconciliation) is
   built to survive. :class:`InvariantChecker` rides along and records
   per-tick consistency breaches instead of crashing the run.
+* **Cluster faults** (:class:`HostCrashInjector`,
+  :class:`HostRecoveryScript`, :class:`TelemetryBlackout`) operate on a
+  whole :class:`~repro.sim.cluster.Cluster`: machines crash and come
+  back, and the control plane's view of individual hosts goes dark —
+  the failure modes a fleet coordinator must stay correct under. All
+  probabilistic decisions are pure functions of ``(seed, tick, host)``
+  so the fault script is identical across policy arms regardless of how
+  control flow diverges after the first fault.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.sim.host import Host, HostSnapshot
 from repro.sim.resources import Resource, ResourceVector
+
+if TYPE_CHECKING:
+    from repro.sim.cluster import Cluster
 
 
 @dataclass(frozen=True)
@@ -775,3 +786,203 @@ class InvariantChecker:
         for breach in self.breaches:
             counts[breach.check] = counts.get(breach.check, 0) + 1
         return {"breaches": len(self.breaches), "by_check": counts}
+
+
+# ---------------------------------------------------------------------------
+# Cluster-level faults: host crashes, recovery, telemetry blackout
+# ---------------------------------------------------------------------------
+
+class HostCrashInjector:
+    """Crash whole hosts — scripted or probabilistic — and recover them.
+
+    A cluster middleware (``on_cluster_tick``): registered on a
+    :class:`~repro.sim.cluster.Cluster`, it takes hosts down via
+    :meth:`~repro.sim.cluster.Cluster.fail_host` and brings them back
+    after ``recovery_ticks`` via
+    :meth:`~repro.sim.cluster.Cluster.recover_host`.
+
+    The probabilistic decision for each host is a pure function of
+    ``(seed, tick, host)`` — the host's index in the sorted name order
+    captured when the injector first sees the cluster — so the crash
+    script is identical across policy arms no matter how each arm's
+    control flow diverges after the first crash. ``max_down_fraction``
+    caps simultaneous outages (a correlated-failure guard, applied in
+    the same deterministic host order).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        probability: float = 0.0,
+        recovery_ticks: Optional[int] = 20,
+        max_down_fraction: float = 0.5,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if recovery_ticks is not None and recovery_ticks < 1:
+            raise ValueError("recovery_ticks must be >= 1 (or None: never)")
+        if not 0.0 < max_down_fraction <= 1.0:
+            raise ValueError("max_down_fraction must be in (0, 1]")
+        self.seed = seed
+        self.probability = probability
+        self.recovery_ticks = recovery_ticks
+        self.max_down_fraction = max_down_fraction
+        self._scripted_crashes: List[Tuple[int, str]] = []
+        self._order: Optional[Tuple[str, ...]] = None
+        self._recover_due: Dict[str, int] = {}
+        self.fired: List[FaultEvent] = []
+
+    def crash_at(self, tick: int, host: str) -> "HostCrashInjector":
+        """Script a crash of ``host`` at ``tick`` (bypasses the cap)."""
+        self._scripted_crashes.append((tick, host))
+        return self
+
+    def host_order(self, cluster: "Cluster") -> Tuple[str, ...]:
+        """The stable host order indices are drawn from (captured once)."""
+        if self._order is None:
+            self._order = tuple(sorted(cluster.hosts))
+        return self._order
+
+    def _crash(self, tick: int, host: str, cluster: "Cluster") -> bool:
+        if host not in cluster.hosts or not cluster.fail_host(host):
+            return False
+        self.fired.append(FaultEvent(tick=tick, kind="host-crash", target=host))
+        if self.recovery_ticks is not None:
+            self._recover_due[host] = tick + self.recovery_ticks
+        return True
+
+    def on_cluster_tick(
+        self, snapshots: Dict[str, HostSnapshot], cluster: "Cluster"
+    ) -> None:
+        """Apply due recoveries, then scripted and probabilistic crashes."""
+        tick = cluster.clock.tick - 1  # the tick the snapshots describe
+        order = self.host_order(cluster)
+
+        for host, due in sorted(self._recover_due.items()):
+            if due <= tick and host in cluster.hosts:
+                if cluster.recover_host(host):
+                    self.fired.append(
+                        FaultEvent(tick=tick, kind="host-recover", target=host)
+                    )
+                del self._recover_due[host]
+
+        for scripted_tick, host in self._scripted_crashes:
+            if scripted_tick == tick:
+                self._crash(tick, host, cluster)
+
+        if self.probability <= 0:
+            return
+        cap = int(self.max_down_fraction * len(cluster.hosts))
+        for index, host in enumerate(order):
+            if host in cluster.down or host not in cluster.hosts:
+                continue
+            if len(cluster.down) >= cap:
+                break
+            rng = np.random.default_rng([self.seed, tick, index])
+            if rng.uniform() < self.probability:
+                self._crash(tick, host, cluster)
+
+    def summary(self) -> dict:
+        """Crash/recover counts and the ticks they fired at."""
+        crashes = [e for e in self.fired if e.kind == "host-crash"]
+        recoveries = [e for e in self.fired if e.kind == "host-recover"]
+        return {
+            "crashes": len(crashes),
+            "recoveries": len(recoveries),
+            "crash_ticks": [e.tick for e in crashes],
+        }
+
+
+class HostRecoveryScript:
+    """Bring scripted hosts back up at fixed ticks.
+
+    The operator-side counterpart of :class:`HostCrashInjector` for
+    drills that separate the crash script from the repair script (e.g.
+    crash injected by chaos, repair modelling a human on-call): recover
+    actions that find the host already up are silently skipped.
+    """
+
+    def __init__(self) -> None:
+        self._scripted: List[Tuple[int, str]] = []
+        self.fired: List[FaultEvent] = []
+
+    def recover_at(self, tick: int, host: str) -> "HostRecoveryScript":
+        """Script a recovery of ``host`` at ``tick``."""
+        self._scripted.append((tick, host))
+        return self
+
+    def on_cluster_tick(
+        self, snapshots: Dict[str, HostSnapshot], cluster: "Cluster"
+    ) -> None:
+        tick = cluster.clock.tick - 1
+        for scripted_tick, host in self._scripted:
+            if scripted_tick != tick or host not in cluster.hosts:
+                continue
+            if cluster.recover_host(host):
+                self.fired.append(
+                    FaultEvent(tick=tick, kind="host-recover", target=host)
+                )
+
+
+class TelemetryBlackout:
+    """Hide host snapshots from an inner cluster middleware.
+
+    Models a network partition between the monitoring plane and
+    individual hosts: the machine is up and its containers keep
+    running, but the coordinator receives no snapshot for it — the
+    same view a crashed host produces, which is exactly why a fleet
+    control plane must not treat 'no telemetry' as 'safe to act'.
+
+    Scripted windows (``dark(start, end, host)``) and probabilistic
+    blackouts are pure functions of ``(seed, tick, host)`` using the
+    same stable host-index scheme as :class:`HostCrashInjector`, so
+    the blackout script is arm-invariant too.
+    """
+
+    def __init__(
+        self,
+        inner,
+        seed: int = 0,
+        probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.inner = inner
+        self.seed = seed
+        self.probability = probability
+        self._windows: List[Tuple[int, int, str]] = []
+        self._order: Optional[Tuple[str, ...]] = None
+        self.fired: List[FaultEvent] = []
+
+    def dark(self, start: int, end: int, host: str) -> "TelemetryBlackout":
+        """Script ``host``'s telemetry dark for ticks in ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty blackout window ({start}, {end})")
+        self._windows.append((start, end, host))
+        return self
+
+    def _is_dark(self, tick: int, host: str, index: int) -> bool:
+        for start, end, name in self._windows:
+            if name == host and start <= tick < end:
+                return True
+        if self.probability > 0:
+            rng = np.random.default_rng([self.seed, tick, index, 1])
+            return bool(rng.uniform() < self.probability)
+        return False
+
+    def on_cluster_tick(
+        self, snapshots: Dict[str, HostSnapshot], cluster: "Cluster"
+    ) -> None:
+        tick = cluster.clock.tick - 1
+        if self._order is None:
+            self._order = tuple(sorted(cluster.hosts))
+        index_of = {host: i for i, host in enumerate(self._order)}
+        visible: Dict[str, HostSnapshot] = {}
+        for host, snapshot in snapshots.items():
+            if self._is_dark(tick, host, index_of.get(host, len(index_of))):
+                self.fired.append(
+                    FaultEvent(tick=tick, kind="blackout", target=host)
+                )
+            else:
+                visible[host] = snapshot
+        self.inner.on_cluster_tick(visible, cluster)

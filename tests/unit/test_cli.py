@@ -124,3 +124,22 @@ class TestCommands:
 
         template = MapTemplate.load(out_path)
         assert template.representatives.shape[0] >= 1
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.hosts == 12
+        assert args.ticks == 240
+        assert args.host_crash == pytest.approx(0.002)
+
+    def test_fleet_drill(self):
+        code, output = run_cli([
+            "fleet", "--hosts", "8", "--ticks", "120",
+            "--seed", "2", "--host-crash", "0.005", "--blackout", "0.0",
+        ])
+        assert code == 0
+        for arm in ("coordinator", "per-host", "none"):
+            assert arm in output
+        assert "improvement over per-host" in output
+        assert "crash" not in output.split("improvement")[0].replace(
+            "host crashes", ""
+        )  # no coordinator crash in the arm table

@@ -134,3 +134,196 @@ class TestMigration:
         cluster.step()
         utilization = cluster.total_cpu_utilization()
         assert 0.0 < utilization < 1.0
+
+
+class TestLocate:
+    def add_app(self, cluster, host, name, memory=1000.0):
+        app = ConstantApp(
+            name=name, demand_vector=ResourceVector(cpu=1.0, memory=memory)
+        )
+        cluster.host(host).add_container(Container(name=name, app=app))
+        return app
+
+    def test_locate_distinguishes_all_three_states(self):
+        cluster = make_cluster(migration_mb_per_tick=500.0)
+        self.add_app(cluster, "h1", "job")
+        cluster.step()
+        on_host = cluster.locate("job")
+        assert (on_host.status, on_host.host) == ("on-host", "h1")
+        assert on_host.record is None
+
+        record = cluster.migrate("job", "h2")
+        migrating = cluster.locate("job")
+        assert migrating.status == "migrating"
+        assert migrating.host is None
+        assert migrating.record is record
+
+        absent = cluster.locate("ghost")
+        assert (absent.status, absent.host, absent.record) == ("absent", None, None)
+
+    def test_double_migrate_in_flight_raises_clear_error(self):
+        cluster = make_cluster(migration_mb_per_tick=100.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        cluster.migrate("job", "h2")
+        with pytest.raises(ValueError, match="already migrating"):
+            cluster.migrate("job", "h2")
+        # The error is not the misleading "not found" of old.
+        with pytest.raises(ValueError, match="h1 -> h2"):
+            cluster.migrate("job", "h1")
+
+
+class TestHostFailure:
+    def add_app(self, cluster, host, name, memory=1000.0):
+        app = ConstantApp(
+            name=name, demand_vector=ResourceVector(cpu=1.0, memory=memory)
+        )
+        cluster.host(host).add_container(Container(name=name, app=app))
+        return app
+
+    def test_fail_and_recover_host(self):
+        cluster = make_cluster()
+        assert cluster.fail_host("h1") is True
+        assert not cluster.host_is_up("h1")
+        assert cluster.fail_host("h1") is False  # already down
+        assert cluster.up_hosts == ["h2"]
+        snapshots = cluster.step()
+        assert set(snapshots) == {"h2"}  # down host contributes nothing
+        assert cluster.recover_host("h1") is True
+        assert cluster.recover_host("h1") is False
+        assert set(cluster.step()) == {"h1", "h2"}
+        kinds = [e.kind for e in cluster.host_events]
+        assert kinds == ["crash", "recover"]
+
+    def test_fail_unknown_host_raises(self):
+        with pytest.raises(KeyError):
+            make_cluster().fail_host("nope")
+
+    def test_down_host_freezes_containers(self):
+        cluster = make_cluster()
+        app = self.add_app(cluster, "h1", "job")
+        cluster.run(3)
+        work = app.work_done
+        cluster.fail_host("h1")
+        cluster.run(5)
+        assert app.work_done == pytest.approx(work)
+        cluster.recover_host("h1")
+        cluster.run(3)
+        assert app.work_done > work
+
+    def test_remove_host(self):
+        cluster = Cluster(host_names=["a", "b", "c"])
+        removed = cluster.remove_host("c")
+        assert removed.clock is cluster.clock
+        assert set(cluster.hosts) == {"a", "b"}
+        with pytest.raises(KeyError):
+            cluster.remove_host("c")
+
+    def test_cannot_remove_last_host(self):
+        cluster = Cluster(host_names=["only"])
+        with pytest.raises(ValueError):
+            cluster.remove_host("only")
+
+    def test_migrate_rejects_down_endpoints(self):
+        cluster = make_cluster()
+        self.add_app(cluster, "h1", "job")
+        cluster.step()
+        cluster.fail_host("h2")
+        with pytest.raises(ValueError, match="down"):
+            cluster.migrate("job", "h2")
+        cluster.recover_host("h2")
+        cluster.fail_host("h1")
+        with pytest.raises(ValueError, match="down"):
+            cluster.migrate("job", "h2")
+
+
+class TestMigrationOutcomes:
+    def add_app(self, cluster, host, name, memory=1000.0):
+        app = ConstantApp(
+            name=name, demand_vector=ResourceVector(cpu=1.0, memory=memory)
+        )
+        cluster.host(host).add_container(Container(name=name, app=app))
+        return app
+
+    def test_landing_exactly_at_done_at(self):
+        cluster = make_cluster(migration_mb_per_tick=500.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        record = cluster.migrate("job", "h2")
+        due = record.done_at()
+        assert due == record.start_tick + 2
+        # One tick before due: still in flight.
+        while cluster.clock.tick < due:
+            cluster.step()
+            if cluster.clock.tick < due:
+                assert cluster.locate("job").status == "migrating"
+        # The step *at* the due tick lands it (land runs before stepping).
+        cluster.step()
+        assert cluster.locate("job").status == "on-host"
+        assert record.outcome == "landed"
+        assert record.completed_tick >= due
+
+    def test_zero_resident_memory_still_costs_a_tick(self):
+        """A never-started container reports zero usage; downtime falls
+        back to demand and is floored at one tick."""
+        cluster = make_cluster(migration_mb_per_tick=10_000.0)
+        app = ConstantApp(
+            name="fresh", demand_vector=ResourceVector(cpu=1.0, memory=0.0)
+        )
+        cluster.host("h1").add_container(Container(name="fresh", app=app))
+        # No step: the container has never run, usage is zero and the
+        # app demands zero memory too.
+        record = cluster.migrate("fresh", "h2")
+        assert record.downtime_ticks == 1
+        cluster.step()
+        cluster.step()
+        assert record.outcome == "landed"
+
+    def test_destination_crash_between_start_and_land_bounces(self):
+        cluster = make_cluster(migration_mb_per_tick=250.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        record = cluster.migrate("job", "h2")  # 4 ticks of copy
+        cluster.step()
+        cluster.fail_host("h2")
+        cluster.run(5)
+        assert record.outcome == "bounced"
+        assert cluster.locate("job").status == "on-host"
+        assert cluster.locate("job").host == "h1"
+        assert cluster.host("h1").container("job").is_running
+
+    def test_both_ends_dead_loses_container(self):
+        cluster = Cluster(host_names=["h1", "h2", "h3"],
+                          migration_mb_per_tick=250.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        record = cluster.migrate("job", "h2")
+        cluster.fail_host("h2")
+        cluster.fail_host("h1")
+        cluster.run(5)
+        assert record.outcome == "lost"
+        assert cluster.locate("job").status == "absent"
+
+    def test_cancel_migration_bounces_immediately(self):
+        cluster = make_cluster(migration_mb_per_tick=100.0)
+        self.add_app(cluster, "h1", "job", memory=1000.0)
+        cluster.step()
+        record = cluster.migrate("job", "h2")
+        outcome = cluster.cancel_migration(record)
+        assert outcome == "bounced"
+        assert cluster.locate("job").host == "h1"
+        with pytest.raises(ValueError):
+            cluster.cancel_migration(record)  # not in flight any more
+
+    def test_every_record_reaches_terminal_outcome(self):
+        cluster = Cluster(host_names=["h1", "h2", "h3"],
+                          migration_mb_per_tick=500.0)
+        for i, host in enumerate(("h1", "h2", "h3")):
+            self.add_app(cluster, host, f"job-{i}")
+        cluster.step()
+        cluster.migrate("job-0", "h2")
+        cluster.migrate("job-1", "h3")
+        cluster.fail_host("h3")  # job-1's destination dies mid-copy
+        cluster.run(6)
+        outcomes = {r.container: r.outcome for r in cluster.migrations}
+        assert outcomes == {"job-0": "landed", "job-1": "bounced"}

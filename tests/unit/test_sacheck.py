@@ -163,6 +163,29 @@ def test_sa103_allows_sanctioned_directions():
                  LayeringRule(), rel_path="src/repro/experiments/x.py") == []
 
 
+def test_sa103_nothing_below_fleet_may_import_it():
+    for rel_path in (CORE, SIM, MONITORING, TELEMETRY,
+                     "src/repro/workloads/x.py", "src/repro/baselines/x.py"):
+        findings = check("from repro.fleet import FleetCoordinator\n",
+                         LayeringRule(), rel_path=rel_path)
+        assert [f.rule for f in findings] == ["SA103"], rel_path
+
+
+def test_sa103_fleet_imports_infrastructure_not_experiments():
+    fleet = "src/repro/fleet/coordinator.py"
+    allowed = """
+    from repro.core.breakers import CircuitBreaker
+    from repro.sim.cluster import Cluster
+    from repro.monitoring.qos import QosTracker
+    """
+    assert check(allowed, LayeringRule(), rel_path=fleet) == []
+    for src in ("from repro.workloads.registry import make_workload\n",
+                "from repro.experiments.chaos import FleetMix\n",
+                "from repro.analysis.reports import ascii_table\n"):
+        findings = check(src, LayeringRule(), rel_path=fleet)
+        assert [f.rule for f in findings] == ["SA103"], src
+
+
 # -- SA104 mutable defaults ------------------------------------------------
 
 

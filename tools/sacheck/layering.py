@@ -11,6 +11,12 @@ the simulator *drives*, not one that reaches back into it:
   service; a cycle here would make the overhead benchmark circular.
 * ``monitoring`` must not import ``sim`` — sensors see value types
   (snapshots, vectors), not the machinery that produced them.
+* ``fleet`` sits above ``core``/``sim``/``monitoring`` and below
+  ``experiments``: it must not import ``workloads`` / ``baselines`` /
+  ``experiments`` / ``analysis``, and nothing beneath it (``core``,
+  ``sim``, ``monitoring``, ``telemetry``, ``workloads``,
+  ``baselines``) may import ``fleet`` — one crashed coordinator must
+  never be able to take a host-local control loop down with it.
 
 Imports inside ``if TYPE_CHECKING:`` are exempt: they vanish at
 runtime, which is exactly the sanctioned way to keep type hints across
@@ -40,9 +46,13 @@ from tools.sacheck.engine import (
 
 #: layer -> layers it must never import at runtime
 FORBIDDEN: Dict[str, Set[str]] = {
-    "core": {"sim", "workloads", "baselines", "experiments"},
-    "telemetry": {"core"},
-    "monitoring": {"sim"},
+    "core": {"sim", "workloads", "baselines", "experiments", "fleet"},
+    "telemetry": {"core", "fleet"},
+    "monitoring": {"sim", "fleet"},
+    "sim": {"fleet"},
+    "workloads": {"fleet"},
+    "baselines": {"fleet"},
+    "fleet": {"workloads", "baselines", "experiments", "analysis"},
 }
 
 
