@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from benchmarks.helpers import banner
+from repro.core.config import StayAwayConfig
 from repro.experiments.chaos import FleetMix, run_fleet_comparison
 
 DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
@@ -43,8 +44,14 @@ def run_fleet_experiment(
     hosts: int = DEFAULT_HOSTS,
     ticks: int = DEFAULT_TICKS,
     out: Optional[str] = None,
+    engine: str = "scalar",
 ) -> Dict[str, object]:
-    """Run the three-arm fleet drill and write the BENCH json."""
+    """Run the three-arm fleet drill and write the BENCH json.
+
+    ``engine`` selects the cluster stepping path (``scalar`` reference
+    or the batched ``vector`` resolve); the drill outcome is
+    bit-identical either way, only the wall clock moves.
+    """
     mix = FleetMix(
         hosts=hosts,
         ticks=ticks,
@@ -55,8 +62,9 @@ def run_fleet_experiment(
         max_down_fraction=0.3,
         blackout=0.01,
     )
+    config = StayAwayConfig(telemetry=False, engine_mode=engine)
     t0 = time.perf_counter()
-    comparison = run_fleet_comparison(mix)
+    comparison = run_fleet_comparison(mix, config=config)
     elapsed = time.perf_counter() - t0
     total_ticks = 3 * (mix.ticks + mix.drain_ticks)
     host_ticks_per_s = hosts * total_ticks / elapsed if elapsed > 0 else 0.0
@@ -68,6 +76,7 @@ def run_fleet_experiment(
     }
     report: Dict[str, object] = {
         "bench": "fleet",
+        "engine": engine,
         "hosts": hosts,
         "ticks": mix.ticks,
         "drain_ticks": mix.drain_ticks,
@@ -106,7 +115,8 @@ def _print_fleet_report(report: Dict[str, object]) -> None:
     print(
         f"fleet: {report['hosts']} hosts, {report['ticks']}+{report['drain_ticks']} "
         f"ticks, {crashes['crashes']} host crashes / {crashes['recoveries']} "
-        "recoveries per arm (identical script)"
+        f"recoveries per arm (identical script), {report.get('engine', 'scalar')} "
+        "engine"
     )
     for name in ("coordinator", "per_host", "none"):
         arm = arms[name]
@@ -182,8 +192,12 @@ def main(argv=None) -> int:
                         help=f"chaos-phase ticks per arm (default {DEFAULT_TICKS})")
     parser.add_argument("--out", default=None,
                         help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--engine", default="scalar", choices=("scalar", "vector"),
+                        help="cluster stepping path (default scalar)")
     args = parser.parse_args(argv)
-    report = run_fleet_experiment(hosts=args.hosts, ticks=args.ticks, out=args.out)
+    report = run_fleet_experiment(
+        hosts=args.hosts, ticks=args.ticks, out=args.out, engine=args.engine
+    )
     _print_fleet_report(report)
     if not report["passed"]:
         print("FAIL: coordinator did not beat the per-host-only arm crash-free")

@@ -174,6 +174,20 @@ class StayAwayConfig:
     fleet_max_concurrent_migrations:
         Cap on simultaneously supervised in-flight migrations across
         the fleet.
+    engine_mode:
+        Simulation stepping path for cluster-backed runs: ``"scalar"``
+        steps each host through its own contention model (the
+        reference), ``"vector"`` batches all up hosts into one
+        struct-of-arrays contention resolve per tick (bit-identical
+        snapshots; see docs/SIMULATION.md for the equivalence
+        contract).
+    engine_shards:
+        Worker processes for the shard-per-core batch engine
+        (:class:`repro.sim.batch.ShardedBatchEngine`). 0 disables
+        sharding (single-process); values >= 1 partition hosts
+        round-robin over that many OS processes. Only pure
+        :class:`~repro.sim.batch.BatchScenario` runs shard — the
+        object cluster ignores this knob.
     """
 
     period: int = 1
@@ -228,6 +242,8 @@ class StayAwayConfig:
     fleet_migration_backoff: int = 5
     fleet_migration_cooldown: int = 25
     fleet_max_concurrent_migrations: int = 4
+    engine_mode: str = "scalar"
+    engine_shards: int = 0
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -319,6 +335,12 @@ class StayAwayConfig:
             raise ValueError("fleet_migration_cooldown must be non-negative")
         if self.fleet_max_concurrent_migrations < 1:
             raise ValueError("fleet_max_concurrent_migrations must be >= 1")
+        if self.engine_mode not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine_mode must be 'scalar' or 'vector', got {self.engine_mode!r}"
+            )
+        if self.engine_shards < 0:
+            raise ValueError("engine_shards must be non-negative")
 
     def vote_threshold(self) -> int:
         """Votes needed to flag an impending violation.

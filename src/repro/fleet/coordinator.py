@@ -289,8 +289,11 @@ class FleetCoordinator:
         Paused containers are eligible — a bomb the throttle is sitting
         on is the *best* thing to move (zero downtime cost to it, and
         shipping it out lets the source host stop throttling at all).
-        Weight is observed CPU usage, falling back to demand for paused
-        containers whose usage reads zero.
+        Weight is observed CPU usage, falling back to the CPU last
+        granted for paused containers whose usage reads zero. (The
+        fallback used to probe ``container.app.demand()``, which draws
+        from the app's private jitter RNG — an off-tick sample that
+        desynced otherwise-identical runs.)
         """
         host = cluster.hosts[host_name]
         best: Optional[Tuple[float, str]] = None
@@ -305,8 +308,8 @@ class FleetCoordinator:
                 if name in snapshot.usage
                 else 0.0
             )
-            if weight <= 0.0:
-                weight = container.app.demand(cluster.clock).get(Resource.CPU)
+            if weight <= 0.0 and container.last_allocation is not None:
+                weight = container.last_allocation.granted.get(Resource.CPU)
             if best is None or weight > best[0]:
                 best = (weight, name)
         return best[1] if best is not None else None
@@ -418,6 +421,12 @@ class FleetCoordinator:
             "migrations": self.supervisor.summary() if self.supervisor else {},
             "qos": {"fleet_violation_ratio": self.fleet_violation_ratio()},
             "ticks": self.ticks_seen,
+            "engine": (
+                {"mode": self.cluster.engine, **self.cluster.engine_stats}
+                if self.cluster is not None
+                and hasattr(self.cluster, "engine_stats")
+                else {}
+            ),
         }
         if scores:
             ranked = sorted(scores.values(), key=lambda s: (-s.total, s.host))

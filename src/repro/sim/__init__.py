@@ -13,8 +13,22 @@ observes a real host: per-container resource-usage snapshots each tick,
 plus whatever QoS signal the applications themselves report.
 """
 
+from repro.sim.batch import (
+    BatchEngine,
+    BatchEvent,
+    BatchScenario,
+    ContainerSpec,
+    HostSpec,
+    ScenarioResult,
+    ShardedBatchEngine,
+    TraceApp,
+    build_scalar_cluster,
+    run_scenario,
+    standard_scenario,
+)
 from repro.sim.clock import SimulationClock
 from repro.sim.cluster import (
+    ENGINE_MODES,
     Cluster,
     ContainerLocation,
     HostEvent,
@@ -29,9 +43,14 @@ from repro.sim.scheduler import (
 )
 from repro.sim.contention import (
     Allocation,
+    BatchResolution,
     ContentionModel,
     ProportionalShareModel,
     WeightedWaterFillModel,
+    resolve_proportional_arrays,
+    resolve_waterfill_arrays,
+    segmented_water_fill,
+    swap_pressure,
     weighted_water_fill,
 )
 from repro.sim.engine import SimulationEngine, SimulationResult
@@ -60,7 +79,24 @@ from repro.sim.resources import (
 __all__ = [
     "ActuatorFaultInjector",
     "Allocation",
+    "BatchEngine",
+    "BatchEvent",
+    "BatchResolution",
+    "BatchScenario",
     "Cluster",
+    "ContainerSpec",
+    "ENGINE_MODES",
+    "HostSpec",
+    "ScenarioResult",
+    "ShardedBatchEngine",
+    "TraceApp",
+    "build_scalar_cluster",
+    "resolve_proportional_arrays",
+    "resolve_waterfill_arrays",
+    "run_scenario",
+    "segmented_water_fill",
+    "standard_scenario",
+    "swap_pressure",
     "ConstrainedScheduler",
     "Container",
     "ContainerFlapper",

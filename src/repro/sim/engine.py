@@ -6,6 +6,13 @@ middleware. The Stay-Away controller, the baselines and the metric
 collectors are all middlewares — exactly the paper's architecture where
 "the Stay-Away runtime is a middleware between the VMs and the
 underlying resource" (§3).
+
+Each tick delegates to :meth:`Host.step`, which itself runs the
+four-phase pipeline (begin_tick -> gather_demands -> resolve ->
+apply_allocations) documented in ``docs/SIMULATION.md``. Multi-host
+runs use :class:`~repro.sim.cluster.Cluster` (optionally with its
+batched ``engine="vector"`` path); trace-driven fleet-scale runs use
+the pure struct-of-arrays :class:`~repro.sim.batch.BatchEngine`.
 """
 
 from __future__ import annotations

@@ -4,6 +4,14 @@ A :class:`Host` owns a set of containers and a contention model. Each
 tick it gathers demands from running containers, resolves contention,
 delivers allocations and produces a :class:`HostSnapshot` — the
 observable state a monitoring agent would collect from cgroups/libvirt.
+
+A tick is four separately callable phases — ``begin_tick`` →
+``gather_demands`` → resolve → ``apply_allocations`` — so that the
+batched cluster engine can interpose a fleet-wide array resolve
+between gather and apply while reusing everything else. Demands are
+gathered in container insertion order, which is the floating-point
+fold order the equivalence contract in ``docs/SIMULATION.md`` pins
+down.
 """
 
 from __future__ import annotations
@@ -132,30 +140,48 @@ class Host:
         self._containers[name].resume()
 
     # -- simulation -----------------------------------------------------
-    def step(self, advance_clock: bool = True) -> HostSnapshot:
-        """Advance the host by one tick and return the observable snapshot.
+    #
+    # One tick is four phases: begin_tick (autostarts), gather_demands,
+    # contention resolve, apply_allocations (delivery + snapshot).
+    # ``step`` runs all four against this host's own contention model;
+    # the batched cluster engine (``Cluster(engine="vector")``) calls
+    # the phases directly so one array resolve can serve many hosts
+    # while reusing these exact lifecycle semantics.
 
-        Parameters
-        ----------
-        advance_clock:
-            Set False when an external coordinator (a
-            :class:`~repro.sim.cluster.Cluster`) owns a clock shared by
-            several hosts and advances it once per cluster tick.
-        """
-        clock = self.clock
+    def begin_tick(self) -> None:
+        """Phase 1: autostart containers whose start tick has arrived."""
         for container in self._containers.values():
-            container.maybe_autostart(clock)
+            container.maybe_autostart(self.clock)
 
+    def gather_demands(self) -> "tuple[Dict[str, ResourceVector], Dict[str, float]]":
+        """Phase 2: collect demand and weight rows for this tick.
+
+        Returns ``(demands, weights)`` keyed by container name, both in
+        container insertion order. Only running containers with a
+        non-zero demand vector appear (paused / idle / finished
+        containers demand nothing) — the same gate the contention
+        models assume.
+        """
         demands: Dict[str, ResourceVector] = {}
         weights: Dict[str, float] = {}
         for name, container in self._containers.items():
-            demand = container.demand(clock)
+            demand = container.demand(self.clock)
             if container.is_running and not demand.is_zero():
                 demands[name] = demand
                 weights[name] = container.weight
+        return demands, weights
 
-        allocations = self.contention.resolve(demands, self.capacity, weights)
+    def apply_allocations(self, allocations: Dict[str, Allocation]) -> HostSnapshot:
+        """Phase 4: deliver allocations and record the tick's snapshot.
 
+        Containers present in ``allocations`` receive their grant
+        (advancing their application); absent ones account a paused
+        tick if paused. The snapshot's ``swap_ratio`` reads the
+        contention model's ``last_swap_ratio`` — when the batched
+        engine resolved this tick, it stores the host's ratio on the
+        model first so this phase stays oblivious to which path ran.
+        """
+        clock = self.clock
         usage: Dict[str, ResourceVector] = {}
         states: Dict[str, ContainerState] = {}
         for name, container in self._containers.items():
@@ -177,8 +203,24 @@ class Host:
             swap_ratio=swap_ratio,
         )
         self._history.append(snapshot)
+        return snapshot
+
+    def step(self, advance_clock: bool = True) -> HostSnapshot:
+        """Advance the host by one tick and return the observable snapshot.
+
+        Parameters
+        ----------
+        advance_clock:
+            Set False when an external coordinator (a
+            :class:`~repro.sim.cluster.Cluster`) owns a clock shared by
+            several hosts and advances it once per cluster tick.
+        """
+        self.begin_tick()
+        demands, weights = self.gather_demands()
+        allocations = self.contention.resolve(demands, self.capacity, weights)
+        snapshot = self.apply_allocations(allocations)
         if advance_clock:
-            clock.advance()
+            self.clock.advance()
         return snapshot
 
     @property

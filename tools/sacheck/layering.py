@@ -11,6 +11,13 @@ the simulator *drives*, not one that reaches back into it:
   service; a cycle here would make the overhead benchmark circular.
 * ``monitoring`` must not import ``sim`` — sensors see value types
   (snapshots, vectors), not the machinery that produced them.
+* ``sim`` is substrate: it must not import ``core`` / ``monitoring`` /
+  ``baselines`` / ``experiments`` / ``analysis`` (or ``fleet``). This
+  matters doubly for the batched engine (``sim.batch``), which the
+  fleet layer and benchmarks drive at scale — an upward import there
+  would drag the whole control plane into every array worker process.
+  (``workloads`` is allowed: the scheduler places ``Application``
+  instances.)
 * ``fleet`` sits above ``core``/``sim``/``monitoring`` and below
   ``experiments``: it must not import ``workloads`` / ``baselines`` /
   ``experiments`` / ``analysis``, and nothing beneath it (``core``,
@@ -49,7 +56,7 @@ FORBIDDEN: Dict[str, Set[str]] = {
     "core": {"sim", "workloads", "baselines", "experiments", "fleet"},
     "telemetry": {"core", "fleet"},
     "monitoring": {"sim", "fleet"},
-    "sim": {"fleet"},
+    "sim": {"fleet", "core", "monitoring", "baselines", "experiments", "analysis"},
     "workloads": {"fleet"},
     "baselines": {"fleet"},
     "fleet": {"workloads", "baselines", "experiments", "analysis"},
