@@ -56,7 +56,9 @@ def profile_application(
     host.add_container(Container(name=app.name, app=app, sensitive=app.is_sensitive))
     demands: List[ResourceVector] = []
     for _ in range(ticks):
-        demands.append(app.demand(host.clock))
+        # Offline characterization run; the docstring requires a fresh
+        # instance precisely because this probe advances the app.
+        demands.append(app.demand(host.clock))  # sacheck: disable=SA201 -- offline profiling probe, fresh instance required
         host.step()
         if app.finished:
             break

@@ -36,7 +36,7 @@ def select_landmarks(
     if k >= n:
         return np.arange(n)
     rng = np.random.default_rng(seed)
-    first = int(rng.integers(n))
+    first = int(rng.integers(n))  # sacheck: disable=SA201 -- seeded local rng; the random start IS the MaxMin algorithm, not a state probe
     selected = [first]
     min_distances = point_distances(points[first], points)
     min_distances[first] = -np.inf  # never re-select

@@ -92,7 +92,10 @@ class ConstrainedScheduler:
     def _estimate(self, request: PlacementRequest) -> ResourceVector:
         if request.estimated_demand is not None:
             return request.estimated_demand
-        return request.app.demand(self.cluster.clock)
+        # Pre-admission estimate: the app has never run, so this first
+        # demand() draw is the profiling read; callers that care about
+        # pairing pass estimated_demand instead.
+        return request.app.demand(self.cluster.clock)  # sacheck: disable=SA201 -- pre-admission profiling read
 
     def _compatible(self, host_name: str, request: PlacementRequest) -> bool:
         sensitive_priorities = self._sensitive_on[host_name]

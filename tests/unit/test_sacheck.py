@@ -436,7 +436,7 @@ def test_cli_repo_scan_matches_committed_baseline(capsys):
 
 
 def test_committed_baseline_entries_are_justified_and_not_stale():
-    baseline = Baseline.load(DEFAULT_BASELINE)
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
     assert baseline.unjustified() == []
     result = scan_paths([REPO_ROOT / "src", REPO_ROOT / "tests"],
                         default_rules(), REPO_ROOT)
@@ -470,7 +470,7 @@ def test_cli_write_baseline_round_trip(tmp_path, capsys):
     target = tmp_path / "baseline.json"
     assert main(["--write-baseline", "--baseline", str(target)]) == 0
     written = Baseline.load(target)
-    committed = Baseline.load(DEFAULT_BASELINE)
+    committed = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
     assert {e.fingerprint for e in written.entries} == \
         {e.fingerprint for e in committed.entries}
     # fresh entries carry TODO reasons, which the checker refuses

@@ -1,14 +1,18 @@
 """sacheck — the Stay-Away invariant linter.
 
-An AST-based static-analysis pass over ``src/`` and ``tests/`` that
-enforces invariants the test suite can't see: controller determinism
-(no wall clocks, no global RNG), architectural layering (core never
-imports the simulator), and numerical/config hygiene.  See
-``docs/STATIC_ANALYSIS.md`` for the rule catalog and
-``python -m tools.sacheck --help`` for the CLI.
+A two-phase static-analysis pass over ``src/``, ``tests/``, ``tools/``
+and ``examples/``: phase 1 builds a project-wide symbol table and call
+graph (:mod:`tools.sacheck.callgraph`), phase 2 walks each file with
+per-file rules (determinism, layering, numerical/config hygiene) and
+interprocedural rules (effect propagation, order-stable folds, shape
+contracts, shard safety).  See ``docs/STATIC_ANALYSIS.md`` for the rule
+catalog and analysis architecture, and ``python -m tools.sacheck
+--help`` for the CLI (JSON/SARIF output, ``--diff`` changed-files
+mode, justified-baseline ratchet).
 """
 
 from tools.sacheck.baseline import Baseline, BaselineEntry, baseline_from_findings
+from tools.sacheck.callgraph import FunctionInfo, ProjectIndex
 from tools.sacheck.engine import (
     FileContext,
     Finding,
@@ -20,6 +24,7 @@ from tools.sacheck.engine import (
 )
 from tools.sacheck.layering import FORBIDDEN, LayeringRule, build_import_graph, layer_edges
 from tools.sacheck.rules import default_rules, rule_catalog
+from tools.sacheck.sarif import to_sarif
 
 __all__ = [
     "Baseline",
@@ -27,7 +32,9 @@ __all__ = [
     "FORBIDDEN",
     "FileContext",
     "Finding",
+    "FunctionInfo",
     "LayeringRule",
+    "ProjectIndex",
     "Rule",
     "RuleWalker",
     "ScanResult",
@@ -38,4 +45,5 @@ __all__ = [
     "rule_catalog",
     "scan_paths",
     "scan_source",
+    "to_sarif",
 ]

@@ -185,6 +185,18 @@ class Rule:
     name: str = "unnamed"
     rationale: str = ""
 
+    def begin_project(self, project: object) -> None:
+        """Receive the phase-1 :class:`~tools.sacheck.callgraph.ProjectIndex`.
+
+        Called once before any file is scanned, only when the caller
+        built a project index (CLI scans always do; ``scan_source``
+        passes one when the test asks for it).  Per-file rules ignore
+        it; interprocedural rules (SA201/SA204) store it and resolve
+        call edges against it.  Typed ``object`` so the engine keeps
+        zero imports from :mod:`tools.sacheck.callgraph` (which imports
+        this module).
+        """
+
     def applies_to(self, ctx: FileContext) -> bool:
         return True
 
@@ -335,10 +347,19 @@ def scan_source(
     rules: Sequence[Rule],
     rel_path: str = "snippet.py",
     path: Optional[Path] = None,
+    project: Optional[object] = None,
 ) -> Tuple[List[Finding], FileContext]:
-    """Scan one source string — the unit-test entry point."""
+    """Scan one source string — the unit-test entry point.
+
+    Pass ``project`` (a :class:`~tools.sacheck.callgraph.ProjectIndex`,
+    typically built via ``ProjectIndex.from_source``) to exercise the
+    interprocedural rules; without it they deactivate themselves.
+    """
     tree = ast.parse(source, filename=rel_path)
     ctx = FileContext(path or Path(rel_path), rel_path, source, tree)
+    if project is not None:
+        for rule in rules:
+            rule.begin_project(project)
     walker = RuleWalker(rules)
     return walker.run(ctx), ctx
 
@@ -372,15 +393,36 @@ def iter_python_files(paths: Sequence[Path], repo_root: Path) -> List[Path]:
     return sorted(set(files), key=lambda p: relative_path(p, repo_root))
 
 
-def scan_paths(paths: Sequence[Path], rules: Sequence[Rule], repo_root: Path) -> ScanResult:
-    """Scan every ``*.py`` under ``paths`` with one walker pass per file."""
+def scan_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    repo_root: Path,
+    project: Optional[object] = None,
+) -> ScanResult:
+    """Scan every ``*.py`` under ``paths`` with one walker pass per file.
+
+    ``project`` is the phase-1 index; when present its parsed-file
+    cache is reused (each file is read and parsed exactly once per
+    run) and interprocedural rules are activated via
+    :meth:`Rule.begin_project`.  The index may cover *more* files than
+    ``paths`` — that is how ``--diff`` scans a subset with
+    whole-program resolution.
+    """
     result = ScanResult()
+    if project is not None:
+        for rule in rules:
+            rule.begin_project(project)
+    cached_files = getattr(project, "files", {}) or {}
     walker = RuleWalker(rules)
     for file_path in iter_python_files(paths, repo_root):
         rel = relative_path(file_path, repo_root)
+        cached = cached_files.get(rel)
         try:
-            source = file_path.read_text(encoding="utf-8")
-            tree = ast.parse(source, filename=rel)
+            if cached is not None:
+                source, tree = cached
+            else:
+                source = file_path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=rel)
         except (SyntaxError, UnicodeDecodeError) as exc:
             result.parse_errors.append(f"{rel}: {exc}")
             continue

@@ -62,6 +62,15 @@ FORBIDDEN: Dict[str, Set[str]] = {
     "fleet": {"workloads", "baselines", "experiments", "analysis"},
 }
 
+#: Top-level trees with their own layering rules (beyond repro.*):
+#: ``tools`` (sacheck) must never import ``repro`` — the linter has to
+#: stay runnable on a tree whose ``repro`` package doesn't import (that
+#: is the state it exists to diagnose); ``examples`` may import repro
+#: but nothing may import ``examples`` — example scripts are leaves,
+#: not a library surface.
+TOOLS_TOP = "tools"
+EXAMPLES_TOP = "examples"
+
 
 def _import_targets(node: ast.stmt, current_module: str) -> List[str]:
     """Absolute dotted module targets of an Import/ImportFrom node."""
@@ -89,13 +98,32 @@ class LayeringRule(Rule):
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
-        return ctx.layer in FORBIDDEN
+        # repro layers with a forbidden set, the tools tree (must not
+        # import repro), and everyone else (must not import examples).
+        return True
 
     def visit_import(self, node: ast.stmt, ctx: FileContext, walker: RuleWalker) -> Iterable[Finding]:
         if walker.in_type_checking:
             return
-        forbidden = FORBIDDEN[ctx.layer]
+        top = ctx.module.split(".")[0]
+        forbidden = FORBIDDEN.get(ctx.layer or "", set())
         for target in _import_targets(node, ctx.module):
+            target_top = target.split(".")[0]
+            if target_top == EXAMPLES_TOP and top != EXAMPLES_TOP:
+                yield self.make_finding(
+                    ctx, node,
+                    f"'{ctx.module}' imports '{target}'; examples are "
+                    "leaf scripts — nothing may depend on them",
+                )
+                continue
+            if top == TOOLS_TOP and target_top == "repro":
+                yield self.make_finding(
+                    ctx, node,
+                    f"'{ctx.module}' imports '{target}'; tools (sacheck) "
+                    "must stay independent of repro so the linter runs on "
+                    "a broken tree",
+                )
+                continue
             target_layer = layer_of(target)
             if target_layer in forbidden:
                 yield self.make_finding(

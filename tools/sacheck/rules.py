@@ -364,8 +364,21 @@ class BroadExceptRule(Rule):
 
 
 def default_rules() -> List[Rule]:
-    """All rules in ID order (SA103 lives in tools.sacheck.layering)."""
+    """All rules in ID order.
+
+    SA103 lives in :mod:`tools.sacheck.layering`; the interprocedural
+    SA201/SA202/SA204 in :mod:`tools.sacheck.effects`; SA203 in
+    :mod:`tools.sacheck.shapes`.  SA201/SA204 deactivate themselves
+    unless the caller supplies a phase-1 project index (the CLI always
+    does).
+    """
+    from tools.sacheck.effects import (
+        SA201EffectRule,
+        SA202OrderStableFoldRule,
+        SA204ShardSafetyRule,
+    )
     from tools.sacheck.layering import LayeringRule
+    from tools.sacheck.shapes import SA203ShapeContractRule
 
     return [
         WallClockRule(),
@@ -376,6 +389,10 @@ def default_rules() -> List[Rule]:
         AdHocTelemetryRule(),
         ConfigValidationRule(),
         BroadExceptRule(),
+        SA201EffectRule(),
+        SA202OrderStableFoldRule(),
+        SA203ShapeContractRule(),
+        SA204ShardSafetyRule(),
     ]
 
 

@@ -1,0 +1,148 @@
+"""SARIF 2.1.0 output for sacheck.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations. This module
+renders a :class:`~tools.sacheck.engine.ScanResult` as one SARIF run:
+
+* every active rule becomes a ``tool.driver.rules`` entry (id, name,
+  rationale as ``fullDescription``);
+* every finding becomes a ``results`` entry with a ``physicalLocation``
+  (repo-relative URI, line/column) and a stable ``fingerprints`` map
+  carrying sacheck's line-number-free baseline fingerprint;
+* baselined findings are emitted with a ``suppressions`` entry of kind
+  ``external`` (the justification travels in the suppression), and
+  inline ``# sacheck: disable=`` suppressions as kind ``inSource`` —
+  so a SARIF viewer shows the complete picture, not just the failures.
+
+Only the standard library is used; the document is built as plain
+dicts and dumped by the CLI's normal ``--out`` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from tools.sacheck.engine import Finding, Rule, ScanResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "sacheck"
+TOOL_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.rationale or rule.name},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(
+    finding: Finding,
+    rule_index: Dict[str, int],
+    suppression: Optional[dict] = None,
+) -> dict:
+    entry: dict = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "note" if suppression is not None else "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "fingerprints": {"sacheck/v1": finding.fingerprint},
+    }
+    if suppression is not None:
+        entry["suppressions"] = [suppression]
+    return entry
+
+
+def to_sarif(
+    result: ScanResult,
+    rules: Sequence[Rule],
+    baselined: Iterable[Finding] = (),
+    baseline_reasons: Optional[Dict[str, str]] = None,
+) -> dict:
+    """Build the SARIF 2.1.0 document for one scan.
+
+    ``result.findings`` are the live (unbaselined) findings;
+    ``baselined`` are findings matched by a justified baseline entry,
+    with ``baseline_reasons`` mapping fingerprint -> justification.
+    ``result.suppressed`` (inline comments) are carried as
+    ``inSource`` suppressions.
+    """
+    ordered_rules = sorted(rules, key=lambda rule: rule.id)
+    rule_index = {rule.id: i for i, rule in enumerate(ordered_rules)}
+    reasons = baseline_reasons or {}
+
+    results: List[dict] = [
+        _result(finding, rule_index) for finding in result.findings
+    ]
+    for finding in baselined:
+        results.append(
+            _result(
+                finding,
+                rule_index,
+                suppression={
+                    "kind": "external",
+                    "status": "accepted",
+                    "justification": reasons.get(
+                        finding.fingerprint, "baselined"
+                    ),
+                },
+            )
+        )
+    for finding in result.suppressed:
+        results.append(
+            _result(
+                finding,
+                rule_index,
+                suppression={"kind": "inSource", "status": "accepted"},
+            )
+        )
+
+    invocation = {
+        "executionSuccessful": not result.parse_errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": error}}
+            for error in result.parse_errors
+        ],
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [
+                            _rule_descriptor(rule) for rule in ordered_rules
+                        ],
+                    }
+                },
+                "invocations": [invocation],
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
