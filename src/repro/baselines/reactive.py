@@ -50,6 +50,11 @@ class ReactiveThrottler:
             if not still_paused:
                 self._paused = []
                 self._paused_since = None
+            elif self.qos.violation_now:
+                # A fresh violation mid-cooldown re-arms the clock:
+                # resuming on the original schedule would drop the batch
+                # straight back into an ongoing contention storm.
+                self._paused_since = snapshot.tick
             elif (
                 self._paused_since is not None
                 and snapshot.tick - self._paused_since >= self.cooldown

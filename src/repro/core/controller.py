@@ -109,6 +109,15 @@ class StayAway:
         default one is created per controller, enabled according to
         ``config.telemetry``. All stage timers, trace spans and the
         guard/throttle counters share its registry.
+    aux_detector:
+        Optional auxiliary threshold detector whose verdict votes
+        alongside the trajectory predictor when ``config.detector_mode
+        == "hybrid"``. Duck-typed (``bind(labels, sensitive,
+        cpu_capacity)`` + ``update(tick, measurement) -> bool``) so the
+        control loop never imports the baselines layer; the standard
+        implementation is
+        :class:`~repro.baselines.gmm_threshold.GmmThresholdModel`,
+        injected by ``experiments.runner``.
     """
 
     def __init__(
@@ -119,6 +128,7 @@ class StayAway:
         throttle_target_selector=None,
         violation_detector=None,
         telemetry: Optional[Telemetry] = None,
+        aux_detector=None,
     ) -> None:
         self.config = config if config is not None else StayAwayConfig()
         self.sensitive_app = sensitive_app
@@ -181,6 +191,16 @@ class StayAway:
             self.watchdog = ModelHealthWatchdog(
                 self.config, self.events, telemetry=self.telemetry
             )
+        self.aux_detector = aux_detector
+        if self.config.detector_mode == "hybrid" and aux_detector is None:
+            raise ValueError(
+                "detector_mode='hybrid' needs an aux_detector (e.g. a "
+                "GmmThresholdModel); experiments.runner wires one"
+            )
+        #: Periods where the acted-on impending-violation signal fired
+        #: (geometry, GMM or both) — the head-to-head study's alarm
+        #: stream.
+        self.alarm_ticks: List[int] = []
         self._qos_reports_seen = 0
         self._prev_coords: Optional[np.ndarray] = None
         self._prev_mode: Optional[ExecutionMode] = None
@@ -232,6 +252,24 @@ class StayAway:
                     staleness_budget=self.config.guard_staleness_budget,
                     freeze_patience=self.config.guard_freeze_patience,
                     registry=self.telemetry.registry,
+                )
+            if self.aux_detector is not None and not getattr(
+                self.aux_detector, "bound", False
+            ):
+                # Collector labels carry *container* names, which need
+                # not match the protected application's own name.
+                sensitive_name = next(
+                    (
+                        container.name
+                        for container in host.containers.values()
+                        if container.app is self.sensitive_app
+                    ),
+                    self.sensitive_app.name,
+                )
+                self.aux_detector.bind(
+                    self.collector.labels,
+                    sensitive_name,
+                    host.capacity.cpu,
                 )
 
         # 0. Reconcile the desired pause-set against reality before
@@ -305,21 +343,47 @@ class StayAway:
             return
 
         # 2. Prediction. A contained predictor failure (or an OPEN
-        #    prediction breaker) means no prediction this period.
+        #    prediction breaker) means no prediction this period. In
+        #    hybrid mode the aux threshold detector judges the same
+        #    measurement inside the stage and its verdict is combined
+        #    with the geometry vote per ``gmm_hybrid_rule``.
         result = self._call_stage(
-            "predict", tick, self._stage_predict, tick, mode, mapped.coords, violated
+            "predict",
+            tick,
+            self._stage_predict,
+            tick,
+            mode,
+            mapped.coords,
+            violated,
+            measurement,
         )
-        prediction = None if isinstance(result, _StageOutcome) else result
+        if isinstance(result, _StageOutcome):
+            prediction, aux_vote = None, False
+        else:
+            prediction, aux_vote = result
         self.last_prediction = prediction
+        geometry_vote = prediction is not None and prediction.impending_violation
+        if self.config.detector_mode == "hybrid" and self.aux_detector is not None:
+            if self.config.gmm_hybrid_rule == "or":
+                flagged = geometry_vote or aux_vote
+            else:
+                flagged = geometry_vote and aux_vote
+        else:
+            flagged = geometry_vote
         impending = (
-            prediction is not None
-            and prediction.impending_violation
-            and mode is ExecutionMode.COLOCATED
-            and predictive_allowed
+            flagged and mode is ExecutionMode.COLOCATED and predictive_allowed
         )
         if impending:
+            self.alarm_ticks.append(tick)
             self.events.record(
-                tick, EventKind.PREDICTED_VIOLATION, votes=prediction.votes
+                tick,
+                EventKind.PREDICTED_VIOLATION,
+                votes=prediction.votes if prediction is not None else 0,
+                detector=(
+                    "both"
+                    if geometry_vote and aux_vote
+                    else ("gmm" if aux_vote else "geometry")
+                ),
             )
 
         # 3. Action.
@@ -366,12 +430,27 @@ class StayAway:
             return self.mapping.map_measurement(tick, measurement, violated)
 
     def _stage_predict(
-        self, tick: int, mode: ExecutionMode, coords: np.ndarray, violated: bool
-    ) -> Prediction:
-        """Prediction stage: learn the step, vote over candidates."""
+        self,
+        tick: int,
+        mode: ExecutionMode,
+        coords: np.ndarray,
+        violated: bool,
+        measurement: Optional[np.ndarray] = None,
+    ):
+        """Prediction stage: learn the step, vote over candidates.
+
+        Returns ``(prediction, aux_vote)``; the aux threshold verdict
+        is False whenever no auxiliary detector is wired or there is no
+        measurement to judge. Running the aux detector inside this
+        stage keeps its failures behind the prediction breaker.
+        """
         with self.telemetry.stage("controller.predict"):
             self.predictor.observe(tick, mode, coords, self.state_space, violated)
-            return self.predictor.predict(tick, mode, coords, self.state_space)
+            prediction = self.predictor.predict(tick, mode, coords, self.state_space)
+            aux_vote = False
+            if self.aux_detector is not None and measurement is not None:
+                aux_vote = bool(self.aux_detector.update(tick, measurement))
+            return prediction, aux_vote
 
     def _stage_act(
         self,
@@ -513,8 +592,14 @@ class StayAway:
 
     def summary(self) -> dict:
         """Headline counters for reports and tests."""
+        aux_summary = None
+        if self.aux_detector is not None and hasattr(self.aux_detector, "summary"):
+            aux_summary = self.aux_detector.summary()
         return {
             "periods": len(self.trajectory),
+            "detector_mode": self.config.detector_mode,
+            "alarms": len(self.alarm_ticks),
+            "gmm": aux_summary,
             "states": len(self.state_space),
             "violation_states": int(self.state_space.violation_indices.size),
             "violations_observed": self.qos.violation_count,

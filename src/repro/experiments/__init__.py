@@ -9,7 +9,10 @@ integration tests all drive the exact same machinery:
   description of one co-location experiment;
 * :mod:`repro.experiments.runner` — run a scenario isolated / unmanaged
   / under Stay-Away / under the ablation baselines, returning aligned
-  QoS and utilization series.
+  QoS and utilization series;
+* :mod:`repro.experiments.headtohead` — the detector head-to-head
+  study: geometry vs GMM thresholds vs hybrid, scored for precision,
+  recall, false-positive rate and violation lead-time.
 """
 
 from repro.experiments.chaos import (
@@ -20,9 +23,22 @@ from repro.experiments.chaos import (
     run_chaos_comparison,
     unguarded_config,
 )
+from repro.experiments.headtohead import (
+    DETECTOR_ARMS,
+    ArmResult,
+    HeadToHead,
+    quick_suite,
+    run_arm,
+    run_headtohead,
+    run_study,
+    standard_suite,
+    study_table,
+)
 from repro.experiments.runner import (
     RunResult,
     TrioResult,
+    run_gmm,
+    run_hybrid,
     run_isolated,
     run_reactive,
     run_scenario,
@@ -40,21 +56,32 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "ArmResult",
     "BuiltScenario",
     "ChaosComparison",
     "ChaosMix",
     "ChaosResult",
+    "DETECTOR_ARMS",
+    "HeadToHead",
     "RunRecorder",
     "RunResult",
     "Scenario",
     "SweepPoint",
     "TickRecord",
     "TrioResult",
+    "quick_suite",
+    "run_arm",
+    "run_headtohead",
+    "run_study",
+    "standard_suite",
+    "study_table",
     "sweep_config",
     "sweep_scenarios",
     "sweep_table",
     "run_chaos",
     "run_chaos_comparison",
+    "run_gmm",
+    "run_hybrid",
     "run_isolated",
     "run_reactive",
     "run_scenario",

@@ -8,12 +8,14 @@ evaluation figures are made of.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis.utilization import UtilizationComparison, compare_utilization
+from repro.baselines.gmm_threshold import GmmThresholdDetector, GmmThresholdModel
 from repro.baselines.no_prevention import NoPrevention
 from repro.baselines.qclouds import QCloudsLike
 from repro.baselines.reactive import ReactiveThrottler
@@ -43,11 +45,14 @@ class RunResult:
     qos:
         The sensitive application's QoS tracker.
     controller:
-        The Stay-Away controller when ``policy == "stayaway"``.
+        The Stay-Away controller when ``policy`` is ``"stayaway"`` or
+        ``"hybrid"``.
     reactive:
         The reactive baseline when ``policy == "reactive"``.
     qclouds:
         The Q-Clouds-style baseline when ``policy == "qclouds"``.
+    gmm:
+        The GMM threshold baseline when ``policy == "gmm"``.
     """
 
     scenario: Scenario
@@ -58,6 +63,7 @@ class RunResult:
     controller: Optional[StayAway] = None
     reactive: Optional[ReactiveThrottler] = None
     qclouds: Optional[QCloudsLike] = None
+    gmm: Optional[GmmThresholdDetector] = None
 
     def utilization(self) -> np.ndarray:
         """Machine CPU utilization series in [0, 1]."""
@@ -77,6 +83,19 @@ class RunResult:
     def batch_work_done(self) -> float:
         """Total work completed by all batch applications."""
         return float(sum(app.work_done for app in self.built.batch_apps))
+
+    def alarm_ticks(self) -> List[int]:
+        """Ticks where the run's detector flagged impending contention.
+
+        Alarm streams exist for the detector-bearing policies
+        (``stayaway``/``hybrid`` via the controller, ``gmm`` via the
+        threshold detector); other policies return an empty list.
+        """
+        if self.controller is not None:
+            return list(self.controller.alarm_ticks)
+        if self.gmm is not None:
+            return list(self.gmm.alarm_ticks)
+        return []
 
     @property
     def telemetry(self):
@@ -99,7 +118,13 @@ def run_scenario(
     ----------
     policy:
         One of ``"isolated"``, ``"unmanaged"``, ``"stayaway"``,
-        ``"reactive"``, ``"qclouds"``.
+        ``"reactive"``, ``"qclouds"``, ``"gmm"``, ``"hybrid"``.
+        ``"gmm"`` runs the standalone GMM threshold baseline
+        (``config.enabled=False`` puts it in alarm-only shadow mode);
+        ``"hybrid"`` is the Stay-Away controller with
+        ``detector_mode="hybrid"`` and a
+        :class:`~repro.baselines.gmm_threshold.GmmThresholdModel`
+        voting in the predict stage.
     config / template:
         Stay-Away configuration and optional map template.
     cooldown:
@@ -109,22 +134,50 @@ def run_scenario(
         to the Stay-Away controller (ignored for other policies);
         lets callers aggregate several runs into one registry.
     """
+    requested_policy = policy
     if policy == "isolated":
         built = scenario.build(include_batch=False)
     else:
         built = scenario.build(include_batch=True)
 
+    if policy == "hybrid":
+        # Sugar for the head-to-head study: Stay-Away with the GMM
+        # verdict voting alongside the trajectory predictor.
+        base = config if config is not None else StayAwayConfig()
+        config = dataclasses.replace(base, detector_mode="hybrid")
+        policy = "stayaway"
+
     engine = SimulationEngine(built.host)
     controller: Optional[StayAway] = None
     reactive: Optional[ReactiveThrottler] = None
     qclouds: Optional[QCloudsLike] = None
+    gmm: Optional[GmmThresholdDetector] = None
 
     if policy == "stayaway":
+        if config is not None and config.detector_mode == "gmm":
+            raise ValueError(
+                "detector_mode='gmm' is the standalone threshold baseline; "
+                "run it with policy='gmm' instead of policy='stayaway'"
+            )
+        aux_detector = None
+        if config is not None and config.detector_mode == "hybrid":
+            aux_detector = GmmThresholdModel(config)
         controller = StayAway(
-            built.sensitive_app, config=config, template=template, telemetry=telemetry
+            built.sensitive_app,
+            config=config,
+            template=template,
+            telemetry=telemetry,
+            aux_detector=aux_detector,
         )
         engine.add_middleware(controller)
         qos = controller.qos
+    elif policy == "gmm":
+        gmm_config = config if config is not None else StayAwayConfig()
+        gmm = GmmThresholdDetector(
+            built.sensitive_app, config=gmm_config, actuate=gmm_config.enabled
+        )
+        engine.add_middleware(gmm)
+        qos = gmm.qos
     elif policy == "reactive":
         reactive = ReactiveThrottler(built.sensitive_app, cooldown=cooldown)
         engine.add_middleware(reactive)
@@ -147,13 +200,14 @@ def run_scenario(
     result = engine.run(ticks=scenario.ticks)
     return RunResult(
         scenario=scenario,
-        policy=policy,
+        policy=requested_policy,
         built=built,
         snapshots=result.snapshots,
         qos=qos,
         controller=controller,
         reactive=reactive,
         qclouds=qclouds,
+        gmm=gmm,
     )
 
 
@@ -186,6 +240,16 @@ def run_stayaway(
 def run_reactive(scenario: Scenario, cooldown: int = 20) -> RunResult:
     """Co-location managed by the reactive-only ablation baseline."""
     return run_scenario(scenario, policy="reactive", cooldown=cooldown)
+
+
+def run_gmm(scenario: Scenario, config: Optional[StayAwayConfig] = None) -> RunResult:
+    """Co-location managed by the GMM threshold-learning baseline."""
+    return run_scenario(scenario, policy="gmm", config=config)
+
+
+def run_hybrid(scenario: Scenario, config: Optional[StayAwayConfig] = None) -> RunResult:
+    """Stay-Away with the GMM verdict voting in the predict stage."""
+    return run_scenario(scenario, policy="hybrid", config=config)
 
 
 @dataclass

@@ -44,7 +44,9 @@ def default_metrics(result: RunResult) -> Dict[str, float]:
         "mean_utilization": float(result.utilization().mean()),
         "batch_work": result.batch_work_done(),
     }
-    metrics["mean_qos"] = float(qos.mean()) if qos.size else 0.0
+    # No QoS samples means "nothing measured", not "worst possible QoS";
+    # NaN keeps the two distinguishable (rendered as an em-dash).
+    metrics["mean_qos"] = float(qos.mean()) if qos.size else float("nan")
     if result.controller is not None:
         metrics["outcome_accuracy"] = result.controller.predictor.outcome_accuracy()
         metrics["throttles"] = float(result.controller.throttle.throttle_count)
@@ -104,9 +106,20 @@ def sweep_table(points: Sequence[SweepPoint]) -> str:
 
     if not points:
         return "(empty sweep)"
-    metric_names = sorted(points[0].metrics)
+    # Mixed-policy sweeps yield heterogeneous metric sets (only the
+    # stayaway points carry controller metrics); the columns are the
+    # union, and a metric a point never measured renders as an em-dash
+    # rather than a fabricated 0.0.
+    metric_names = sorted({name for point in points for name in point.metrics})
+
+    def cell(point: SweepPoint, name: str) -> str:
+        value = point.metrics.get(name)
+        if value is None or value != value:
+            return "—"
+        return f"{value:.4g}"
+
     rows = [
-        [point.label] + [f"{point.metrics.get(name, 0.0):.4g}" for name in metric_names]
+        [point.label] + [cell(point, name) for name in metric_names]
         for point in points
     ]
     return ascii_table(["setting"] + metric_names, rows)

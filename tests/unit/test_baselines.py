@@ -13,9 +13,30 @@ from repro.sim.container import Container
 from repro.sim.engine import SimulationEngine
 from repro.sim.host import Host
 from repro.sim.resources import ResourceVector, default_host_capacity
+from repro.workloads.base import Application, ApplicationKind, QosReport
 from repro.workloads.vlc import VlcStreamingServer
 
 from tests.conftest import ConstantApp, SensitiveStub
+
+
+class ScriptedQosApp(Application):
+    """Sensitive stub whose QoS follows a fixed per-tick script,
+    independent of what it is actually granted."""
+
+    def __init__(self, violating_ticks, name="scripted"):
+        super().__init__(name=name, kind=ApplicationKind.SENSITIVE, noise_std=0.0)
+        self.violating_ticks = set(violating_ticks)
+        self._report = None
+
+    def demand(self, clock):
+        return ResourceVector(cpu=1.0)
+
+    def _on_advance(self, allocation, clock):
+        value = 0.0 if clock.tick in self.violating_ticks else 1.0
+        self._report = QosReport(value=value, threshold=0.9)
+
+    def qos_report(self):
+        return self._report
 
 
 def contended_host():
@@ -57,6 +78,45 @@ class TestReactiveThrottler:
         reactive = ReactiveThrottler(sensitive, cooldown=3)
         SimulationEngine(host, [reactive]).run(ticks=10)
         assert reactive.resume_count >= 1
+
+    def test_violation_mid_cooldown_rearms_clock(self):
+        # Regression: a fresh QoS violation observed while paused used
+        # to be ignored (the early return never re-armed
+        # ``_paused_since``), so the throttler resumed on the original
+        # schedule — straight back into the ongoing contention storm.
+        host = Host()
+        scripted = ScriptedQosApp(violating_ticks={1, 4})
+        host.add_container(Container(name="sens", app=scripted, sensitive=True))
+        host.add_container(Container(name="bomb", app=ConstantApp(name="bomb")))
+        reactive = ReactiveThrottler(scripted, cooldown=5)
+        engine = SimulationEngine(host, [reactive])
+
+        resume_tick = None
+        for _ in range(20):
+            engine.run(ticks=1)
+            if reactive.resume_count and resume_tick is None:
+                resume_tick = host.clock.tick
+        assert reactive.throttle_count == 1
+        assert resume_tick is not None
+        # The tick-4 violation re-armed the clock: a full cooldown must
+        # elapse after it (old behavior resumed at 1 + cooldown).
+        assert resume_tick >= 4 + reactive.cooldown
+
+    def test_resume_waits_out_repeated_violations(self):
+        # Back-to-back mid-cooldown violations each push the resume out.
+        host = Host()
+        scripted = ScriptedQosApp(violating_ticks={1, 3, 5, 7})
+        host.add_container(Container(name="sens", app=scripted, sensitive=True))
+        host.add_container(Container(name="bomb", app=ConstantApp(name="bomb")))
+        reactive = ReactiveThrottler(scripted, cooldown=4)
+        engine = SimulationEngine(host, [reactive])
+        engine.run(ticks=10)
+        assert reactive.throttle_count == 1
+        assert reactive.resume_count == 0
+        assert host.container("bomb").is_paused
+        engine.run(ticks=5)
+        assert reactive.resume_count == 1
+        assert host.container("bomb").is_running
 
     def test_oscillates_forever_under_constant_contention(self):
         # The reactive baseline has no memory: it must pay a violation

@@ -1,5 +1,8 @@
 """Unit tests for the sweep utilities."""
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.core.config import StayAwayConfig
@@ -70,3 +73,73 @@ class TestSweepTable:
 
     def test_empty(self):
         assert sweep_table([]) == "(empty sweep)"
+
+    def test_union_of_metric_columns(self):
+        # Regression: columns used to come from points[0] only, so a
+        # mixed-policy sweep silently dropped the controller metrics of
+        # later points (and fabricated 0.0 for metrics a point lacked).
+        points = [
+            SweepPoint(label="unmanaged", value="u", metrics={"m": 0.5}),
+            SweepPoint(
+                label="stayaway", value="s", metrics={"m": 0.7, "throttles": 4.0}
+            ),
+        ]
+        table = sweep_table(points)
+        assert "throttles" in table
+        assert "4" in table
+        # The unmanaged point never measured throttles: em-dash, not 0.
+        unmanaged_row = next(
+            line for line in table.splitlines() if line.startswith("unmanaged")
+        )
+        assert "—" in unmanaged_row
+        assert "0.0" not in unmanaged_row
+
+    def test_nan_renders_as_dash(self):
+        points = [
+            SweepPoint(label="a", value=1, metrics={"mean_qos": float("nan")})
+        ]
+        table = sweep_table(points)
+        assert "—" in table
+        assert "nan" not in table
+
+
+class TestDefaultMetrics:
+    def test_no_qos_samples_is_nan_not_zero(self):
+        # Regression: mean_qos = 0.0 for "no samples" was
+        # indistinguishable from genuinely worst-possible QoS.
+        class _NoQosRun:
+            controller = None
+
+            def qos_values(self):
+                return np.array([])
+
+            def violation_ratio(self):
+                return 0.0
+
+            def utilization(self):
+                return np.array([0.5])
+
+            def batch_work_done(self):
+                return 0.0
+
+        metrics = default_metrics(_NoQosRun())
+        assert math.isnan(metrics["mean_qos"])
+
+    def test_qos_samples_mean_unchanged(self):
+        class _QosRun:
+            controller = None
+
+            def qos_values(self):
+                return np.array([0.8, 1.0])
+
+            def violation_ratio(self):
+                return 0.0
+
+            def utilization(self):
+                return np.array([0.5])
+
+            def batch_work_done(self):
+                return 3.0
+
+        metrics = default_metrics(_QosRun())
+        assert metrics["mean_qos"] == pytest.approx(0.9)

@@ -18,6 +18,11 @@ the simulator *drives*, not one that reaches back into it:
   would drag the whole control plane into every array worker process.
   (``workloads`` is allowed: the scheduler places ``Application``
   instances.)
+* ``baselines`` must not import ``experiments`` / ``analysis`` — the
+  comparators (reactive, Q-Clouds, GMM thresholds, …) are controller
+  peers the harness drives; if one reached up into the harness or the
+  scoring code, the head-to-head studies would measure a detector that
+  can see its own scorecard.
 * ``fleet`` sits above ``core``/``sim``/``monitoring`` and below
   ``experiments``: it must not import ``workloads`` / ``baselines`` /
   ``experiments`` / ``analysis``, and nothing beneath it (``core``,
@@ -58,7 +63,7 @@ FORBIDDEN: Dict[str, Set[str]] = {
     "monitoring": {"sim", "fleet"},
     "sim": {"fleet", "core", "monitoring", "baselines", "experiments", "analysis"},
     "workloads": {"fleet"},
-    "baselines": {"fleet"},
+    "baselines": {"fleet", "experiments", "analysis"},
     "fleet": {"workloads", "baselines", "experiments", "analysis"},
 }
 
