@@ -9,6 +9,8 @@ Usage examples::
         --batch twitter-analysis --ticks 800
     python -m repro template --sensitive vlc-streaming --batch cpubomb \
         --out /tmp/vlc-map.json
+    python -m repro run --ticks 600 --record-stream /tmp/run.jsonl
+    python -m repro serve --replay /tmp/run.jsonl
 
 Every command prints plain-text tables; experiments are deterministic
 for a given ``--seed``.
@@ -17,6 +19,7 @@ for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -71,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--prometheus-out", metavar="PATH", default=None,
         help="write the metrics in Prometheus text format to PATH")
+    run_parser.add_argument(
+        "--record-stream", metavar="PATH", default=None,
+        help="record the run as a replayable wire-record stream (JSONL) "
+             "for `repro serve --replay PATH`")
 
     compare_parser = sub.add_parser(
         "compare", help="run isolated/unmanaged/stay-away and compare"
@@ -106,6 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-host per-tick crash probability")
     fleet_parser.add_argument("--blackout", type=float, default=0.01,
                               help="per-host per-tick telemetry-blackout probability")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the controller as a service over a metric stream",
+    )
+    serve_source = serve_parser.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="replay a recorded wire-record stream (JSONL from "
+             "`repro run --record-stream`)")
+    serve_source.add_argument(
+        "--scrape", metavar="PATH", default=None,
+        help="poll a Prometheus text-exposition file (written by the "
+             "usage-gauge exporter) once per service cycle")
+    serve_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    serve_parser.add_argument(
+        "--watermark", type=int, default=None,
+        help="stream watermark in ticks (default: config stream_watermark)")
+    serve_parser.add_argument(
+        "--max-cycles", type=int, default=100_000,
+        help="stop pumping after this many service cycles (scrape mode "
+             "has no natural end of stream)")
     return parser
 
 
@@ -134,7 +163,19 @@ def cmd_run(args: argparse.Namespace, out) -> int:
     config = None
     if getattr(args, "no_telemetry", False):
         config = StayAwayConfig(telemetry=False)
-    result = run_scenario(scenario, policy=args.policy, config=config)
+    recorder = None
+    pre_middlewares = ()
+    if getattr(args, "record_stream", None):
+        from repro.service import StreamRecorder
+
+        recorder = StreamRecorder()
+        pre_middlewares = (recorder,)
+    result = run_scenario(
+        scenario,
+        policy=args.policy,
+        config=config,
+        pre_middlewares=pre_middlewares,
+    )
     qos = result.qos_values()
     rows = [
         ["policy", args.policy],
@@ -184,6 +225,11 @@ def cmd_run(args: argparse.Namespace, out) -> int:
             ])
     print(ascii_table(["metric", "value"], rows), file=out)
     _emit_telemetry(args, result, out)
+    if recorder is not None:
+        path = recorder.write(args.record_stream)
+        print(
+            f"{len(recorder.records)} wire records written to {path}", file=out
+        )
     return 0
 
 
@@ -332,6 +378,58 @@ def cmd_fleet(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.service import (
+        ControllerService,
+        JsonlReplaySource,
+        PrometheusScrapeSource,
+    )
+
+    config = StayAwayConfig(seed=args.seed)
+    if args.watermark is not None:
+        config = dataclasses.replace(config, stream_watermark=args.watermark)
+    if args.replay is not None:
+        source = JsonlReplaySource(args.replay)
+    else:
+        scrape_path = args.scrape
+
+        def scrape() -> str:
+            with open(scrape_path, encoding="utf-8") as handle:
+                return handle.read()
+
+        source = PrometheusScrapeSource(scrape)
+    service = ControllerService(source, config=config)
+    service.run(max_cycles=args.max_cycles)
+
+    summary = service.summary()
+    stream = summary["telemetry"]["stream"]
+    actuator = stream["actuator"]
+    rows = [
+        ["source", "replay" if args.replay else "scrape"],
+        ["service state", summary["service_state"]],
+        ["ticks processed", stream["ticks_processed"]],
+        ["decisions", len(service.decision_sequence())],
+        ["throttles / resumes",
+         f"{summary['throttles']} / {summary['resumes']}"],
+        ["mapped states", summary["states"]],
+        ["stream dropped / late", f"{stream['dropped']} / {stream['late']}"],
+        ["stream duplicated / reordered",
+         f"{stream['duplicated']} / {stream['reordered']}"],
+        ["stream imputed / partial closes",
+         f"{stream['imputed']} / {stream['ticks_closed_partial']}"],
+        ["gap ticks / cells retired",
+         f"{stream['gap_ticks']} / {stream.get('cells_retired', 0)}"],
+        ["reconnects / stall degrades",
+         f"{stream['reconnects']} / {stream['stall_degrades']}"],
+        ["actuator acks / retries",
+         f"{actuator['acks']} / {actuator['retries']}"],
+        ["actuator dead-lettered / pending",
+         f"{actuator['dead_lettered']} / {actuator['pending']}"],
+    ]
+    print(ascii_table(["metric", "value"], rows), file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -348,4 +446,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_headtohead(args, out)
     if args.command == "fleet":
         return cmd_fleet(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -174,6 +174,13 @@ class StayAwayConfig:
     fleet_max_concurrent_migrations:
         Cap on simultaneously supervised in-flight migrations across
         the fleet.
+    fleet_cell_mode:
+        How each host cell feeds its controller: ``"direct"`` hands it
+        the in-process snapshot; ``"stream"`` routes every tick
+        through the wire-record service seam
+        (:class:`~repro.fleet.coordinator.StreamHostCell`) with
+        acknowledged actuation — decisions then lag the host by
+        ``stream_watermark`` ticks.
     detector_mode:
         Violation-detection source for the Stay-Away controller:
         ``"geometry"`` (the paper's MDS trajectory predictor alone),
@@ -227,6 +234,42 @@ class StayAwayConfig:
         round-robin over that many OS processes. Only pure
         :class:`~repro.sim.batch.BatchScenario` runs shard — the
         object cluster ignores this knob.
+    stream_watermark:
+        Ticks of reorder slack in the streaming service's
+        :class:`~repro.service.assembler.StreamAssembler`: tick ``t``
+        closes once a record for ``t + stream_watermark`` has been
+        seen. 0 closes each tick as soon as any record for it arrives.
+    stream_retire_after:
+        Consecutive non-gap closes a metric cell may miss before the
+        assembler retires it from the expected set (its container is
+        presumed to have left the host, e.g. fleet migration) instead
+        of imputing its last value forever. 0 disables retirement.
+    stream_stall_deadline:
+        Ticks the service waits without the stream's newest data tick
+        advancing before forcing the controller's
+        :class:`~repro.core.resilience.DegradedModeMachine` into
+        DEGRADED (reason ``stream-stall``).
+    stream_retry_backoff:
+        Base backoff in ticks between source reconnect attempts after
+        a :class:`~repro.service.stream.StreamError`; doubles per
+        consecutive failure up to ``stream_retry_cap``.
+    stream_retry_cap:
+        Upper bound on the reconnect backoff, in ticks.
+    stream_retry_jitter:
+        Uniform jitter fraction applied to each reconnect backoff
+        (0.2 = up to ±20%), decorrelating reconnect storms across
+        services; drawn from the service's seeded RNG so runs stay
+        reproducible.
+    actuator_ack_timeout:
+        Ticks the :class:`~repro.service.actuator.AckTracker` waits
+        for a command acknowledgement before redelivering.
+    actuator_max_retries:
+        Redelivery budget per actuator command; one more failed
+        attempt dead-letters it (reconciled through the
+        ``ACTION_ESCALATION`` event path).
+    actuator_retry_backoff:
+        Base backoff in ticks added between actuator redeliveries
+        (doubles per attempt).
     """
 
     period: int = 1
@@ -281,6 +324,7 @@ class StayAwayConfig:
     fleet_migration_backoff: int = 5
     fleet_migration_cooldown: int = 25
     fleet_max_concurrent_migrations: int = 4
+    fleet_cell_mode: str = "direct"
     detector_mode: str = "geometry"
     gmm_bins: int = 5
     gmm_max_components: int = 3
@@ -294,6 +338,15 @@ class StayAwayConfig:
     gmm_hybrid_rule: str = "or"
     engine_mode: str = "scalar"
     engine_shards: int = 0
+    stream_watermark: int = 2
+    stream_retire_after: int = 8
+    stream_stall_deadline: int = 10
+    stream_retry_backoff: int = 1
+    stream_retry_cap: int = 16
+    stream_retry_jitter: float = 0.2
+    actuator_ack_timeout: int = 2
+    actuator_max_retries: int = 3
+    actuator_retry_backoff: int = 1
 
     def __post_init__(self) -> None:
         if self.period < 1:
@@ -385,6 +438,11 @@ class StayAwayConfig:
             raise ValueError("fleet_migration_cooldown must be non-negative")
         if self.fleet_max_concurrent_migrations < 1:
             raise ValueError("fleet_max_concurrent_migrations must be >= 1")
+        if self.fleet_cell_mode not in ("direct", "stream"):
+            raise ValueError(
+                "fleet_cell_mode must be 'direct' or 'stream', "
+                f"got {self.fleet_cell_mode!r}"
+            )
         if self.detector_mode not in ("geometry", "gmm", "hybrid"):
             raise ValueError(
                 "detector_mode must be 'geometry', 'gmm' or 'hybrid', "
@@ -427,6 +485,24 @@ class StayAwayConfig:
             )
         if self.engine_shards < 0:
             raise ValueError("engine_shards must be non-negative")
+        if self.stream_watermark < 0:
+            raise ValueError("stream_watermark must be non-negative")
+        if self.stream_retire_after < 0:
+            raise ValueError("stream_retire_after must be non-negative")
+        if self.stream_stall_deadline < 1:
+            raise ValueError("stream_stall_deadline must be >= 1")
+        if self.stream_retry_backoff < 1:
+            raise ValueError("stream_retry_backoff must be >= 1")
+        if self.stream_retry_cap < self.stream_retry_backoff:
+            raise ValueError("stream_retry_cap must be >= stream_retry_backoff")
+        if not 0.0 <= self.stream_retry_jitter <= 1.0:
+            raise ValueError("stream_retry_jitter must be in [0, 1]")
+        if self.actuator_ack_timeout < 1:
+            raise ValueError("actuator_ack_timeout must be >= 1")
+        if self.actuator_max_retries < 0:
+            raise ValueError("actuator_max_retries must be non-negative")
+        if self.actuator_retry_backoff < 1:
+            raise ValueError("actuator_retry_backoff must be >= 1")
 
     def vote_threshold(self) -> int:
         """Votes needed to flag an impending violation.

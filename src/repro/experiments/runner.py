@@ -111,6 +111,7 @@ def run_scenario(
     template: Optional[MapTemplate] = None,
     cooldown: int = 20,
     telemetry=None,
+    pre_middlewares=(),
 ) -> RunResult:
     """Run a scenario under a named policy.
 
@@ -133,6 +134,10 @@ def run_scenario(
         Optional pre-built :class:`~repro.telemetry.Telemetry` handed
         to the Stay-Away controller (ignored for other policies);
         lets callers aggregate several runs into one registry.
+    pre_middlewares:
+        Middlewares registered *before* the policy's own (observers
+        like :class:`~repro.service.recording.StreamRecorder` that
+        must see each snapshot pre-actuation).
     """
     requested_policy = policy
     if policy == "isolated":
@@ -148,6 +153,8 @@ def run_scenario(
         policy = "stayaway"
 
     engine = SimulationEngine(built.host)
+    for middleware in pre_middlewares:
+        engine.add_middleware(middleware)
     controller: Optional[StayAway] = None
     reactive: Optional[ReactiveThrottler] = None
     qclouds: Optional[QCloudsLike] = None

@@ -1,0 +1,454 @@
+"""Stream-transport chaos drills for the controller service.
+
+The service stack (:mod:`repro.service`) claims two things worth
+drilling, and this module drills both against the live simulator:
+
+* **Replay determinism** — an in-process run recorded as wire records
+  and replayed through :class:`~repro.service.controller_service.
+  ControllerService` must reproduce the in-process controller's
+  pause/resume decision sequence *exactly*
+  (:func:`check_replay_determinism`).
+* **Fault tolerance** — under seeded transport faults (drop, reorder,
+  duplicate, stall, lost acks) the watermark assembler must keep the
+  sensitive application's ground-truth QoS close to the fault-free
+  run, while the assembler-less :class:`~repro.service.assembler.
+  PassthroughAssembler` arm deviates much further — either by letting
+  violations through or by over-throttling the batch tier into a
+  large utilization shortfall (:func:`run_stream_comparison`).
+
+The live topology mirrors a real deployment split across processes:
+a :class:`SimStreamBridge` middleware publishes every engine tick as
+wire records (the same :mod:`repro.service.recording` helpers the
+recorder uses, so recorded and live streams are bit-identical in
+shape) into a :class:`~repro.service.stream.QueueSource`; the service
+polls that queue through a chain of seeded fault wrappers from
+:mod:`repro.sim.faults`; its decisions travel back to the *live* host
+through a :class:`~repro.service.actuator.SimHostActuator`. An
+independent :class:`~repro.monitoring.qos.QosTracker` rides the
+engine outside the stream entirely, so every arm is measured by the
+same ground-truth instrument regardless of what its stream shows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import StayAwayConfig
+from repro.core.controller import StayAway
+from repro.experiments.scenarios import BuiltScenario, Scenario
+from repro.monitoring.qos import QosTracker
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import (
+    ActuatorAckDropper,
+    StreamDropper,
+    StreamDuplicator,
+    StreamReorderer,
+    StreamStaller,
+)
+from repro.service import (
+    ControllerService,
+    PassthroughAssembler,
+    QueueSource,
+    SimHostActuator,
+    StreamRecorder,
+    decision_sequence,
+)
+from repro.service.recording import header_record, qos_record, snapshot_records
+
+#: Safety bound on post-run flush cycles (reorderer-held records drain
+#: within ``max_delay`` polls; anything beyond this is a wrapper bug).
+_FLUSH_CYCLE_CAP = 256
+
+
+@dataclass(frozen=True)
+class StreamChaosMix:
+    """Knobs of the seeded stream-transport fault cocktail.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; each wrapper derives its own offset and every fault
+        decision is a pure function of ``(seed, tick, record)``, so
+        the fault script is identical across the arms under
+        comparison.
+    drop:
+        Per-record probability a tick-bearing record is lost.
+    reorder / reorder_max_delay:
+        Per-record probability a record is delayed ``1..max_delay``
+        polls (arriving behind newer ticks).
+    duplicate:
+        Per-record probability of an at-least-once redelivery.
+    stall_windows:
+        ``(start, end)`` poll-index windows during which the transport
+        goes silent (data delayed, not lost) — what the service's
+        stall-deadline degradation watches for.
+    ack_drop:
+        Probability a pause/resume lands but its ack is lost, forcing
+        the tracker through its retry path.
+    """
+
+    seed: int = 0
+    drop: float = 0.05
+    reorder: float = 0.1
+    reorder_max_delay: int = 3
+    duplicate: float = 0.1
+    stall_windows: Tuple[Tuple[int, int], ...] = ()
+    ack_drop: float = 0.0
+
+
+class SimStreamBridge:
+    """Middleware publishing live ticks as wire records, then pumping.
+
+    Registered on the engine, it plays the monitoring agent: one
+    ``header`` on the first tick, then per tick the ``sample`` /
+    ``state`` / ``qos`` records, pushed into ``sink`` (the queue at
+    the bottom of the fault chain). It then runs one service cycle, so
+    the service's clock advances with the host's — lagging by the
+    watermark, exactly as a remote controller would.
+    """
+
+    def __init__(self, service, sink, sensitive_app=None, host_name="host0"):
+        self.service = service
+        self.sink = sink
+        self.sensitive_app = sensitive_app
+        self.host_name = host_name
+        self._header_done = False
+
+    def on_tick(self, snapshot, host) -> None:
+        records: List[dict] = []
+        if not self._header_done:
+            records.append(header_record(host, self.host_name))
+            if self.sensitive_app is None:
+                sensitive = host.sensitive_containers()
+                if sensitive:
+                    self.sensitive_app = sensitive[0].app
+            self._header_done = True
+        records.extend(snapshot_records(snapshot, host, self.host_name))
+        if self.sensitive_app is not None:
+            record = qos_record(snapshot.tick, self.sensitive_app, self.host_name)
+            if record is not None:
+                records.append(record)
+        self.sink.push(records)
+        self.service.pump()
+
+
+@dataclass
+class StreamDrillResult:
+    """Outcome of one stream chaos drill arm.
+
+    Attributes
+    ----------
+    scenario / mix:
+        What was run; ``mix`` is None in the fault-free arm.
+    built / service / audit:
+        The instantiated scenario, the serviced controller, and the
+        ground-truth QoS instrument riding outside the stream.
+    injectors:
+        The installed fault wrappers by name, for fault-census
+        assertions.
+    ack_dropper:
+        The ack filter, when the mix drops acks.
+    passthrough:
+        True in the assembler-less ablation arm.
+    """
+
+    scenario: Scenario
+    mix: Optional[StreamChaosMix]
+    built: BuiltScenario
+    service: ControllerService
+    audit: QosTracker
+    injectors: Dict[str, object] = field(default_factory=dict)
+    ack_dropper: Optional[ActuatorAckDropper] = None
+    passthrough: bool = False
+
+    def violation_ratio(self) -> float:
+        """Ground-truth fraction of reported ticks in violation."""
+        return self.audit.violation_ratio()
+
+    def batch_work(self) -> float:
+        """Total work the batch applications retired (the paper's
+        utilization axis — what over-throttling silently destroys)."""
+        return sum(app.work_done for app in self.built.batch_apps)
+
+    def faults_injected(self) -> int:
+        """Total transport + ack faults the script actually fired."""
+        total = 0
+        dropper = self.injectors.get("dropper")
+        if dropper is not None:
+            total += len(dropper.dropped)
+        reorderer = self.injectors.get("reorderer")
+        if reorderer is not None:
+            total += len(reorderer.delayed)
+        duplicator = self.injectors.get("duplicator")
+        if duplicator is not None:
+            total += len(duplicator.duplicated)
+        staller = self.injectors.get("staller")
+        if staller is not None:
+            total += len(staller.stalled_polls)
+        if self.ack_dropper is not None:
+            total += len(self.ack_dropper.dropped_acks)
+        return total
+
+    def unreconciled_commands(self) -> int:
+        """Commands neither acked nor dead-lettered after drain (want 0)."""
+        return len(self.service.tracker.pending())
+
+    def summary(self) -> dict:
+        stream = self.service.summary()["telemetry"].get("stream", {})
+        return {
+            "arm": (
+                "fault-free"
+                if self.mix is None
+                else ("passthrough" if self.passthrough else "assembled")
+            ),
+            "violation_ratio": self.violation_ratio(),
+            "batch_work": self.batch_work(),
+            "decisions": len(self.service.decision_sequence()),
+            "faults_injected": self.faults_injected(),
+            "unreconciled_commands": self.unreconciled_commands(),
+            "dead_letters": len(self.service.tracker.dead_letters),
+            "stream": stream,
+        }
+
+
+def run_stream_drill(
+    scenario: Scenario,
+    mix: Optional[StreamChaosMix] = None,
+    config: Optional[StayAwayConfig] = None,
+    passthrough: bool = False,
+) -> StreamDrillResult:
+    """Run one scenario with the controller behind a (faulty) stream.
+
+    ``mix=None`` is the fault-free arm: the same stream topology with
+    no wrappers installed — the baseline the chaos gate compares
+    against. ``passthrough=True`` swaps in the assembler-less
+    :class:`~repro.service.assembler.PassthroughAssembler` (the
+    ablation arm); everything else, including the fault script, is
+    identical.
+    """
+    config = config if config is not None else StayAwayConfig()
+    built = scenario.build(include_batch=True)
+    host = built.host
+
+    queue = QueueSource()
+    source = queue
+    injectors: Dict[str, object] = {}
+    ack_dropper: Optional[ActuatorAckDropper] = None
+    if mix is not None:
+        if mix.drop > 0:
+            source = injectors["dropper"] = StreamDropper(
+                source, seed=mix.seed + 11, probability=mix.drop
+            )
+        if mix.reorder > 0:
+            source = injectors["reorderer"] = StreamReorderer(
+                source,
+                seed=mix.seed + 13,
+                probability=mix.reorder,
+                max_delay=mix.reorder_max_delay,
+            )
+        if mix.duplicate > 0:
+            source = injectors["duplicator"] = StreamDuplicator(
+                source, seed=mix.seed + 17, probability=mix.duplicate
+            )
+        if mix.stall_windows:
+            source = injectors["staller"] = StreamStaller(
+                source, windows=list(mix.stall_windows)
+            )
+        if mix.ack_drop > 0:
+            ack_dropper = ActuatorAckDropper(
+                seed=mix.seed + 19, probability=mix.ack_drop
+            )
+
+    actuator = SimHostActuator(host, ack_filter=ack_dropper)
+    assembler = PassthroughAssembler() if passthrough else None
+    service = ControllerService(
+        source, actuator=actuator, config=config, assembler=assembler
+    )
+    service.start()
+
+    audit = QosTracker(built.sensitive_app)
+    bridge = SimStreamBridge(service, queue, sensitive_app=built.sensitive_app)
+    engine = SimulationEngine(host)
+    engine.add_middleware(bridge)
+    engine.add_middleware(audit)
+    engine.run(ticks=scenario.ticks)
+
+    # The host is done: close the transport, let held/delayed records
+    # drain, then resolve every in-flight actuator command.
+    queue.close()
+    service.run(max_cycles=_FLUSH_CYCLE_CAP)
+
+    return StreamDrillResult(
+        scenario=scenario,
+        mix=mix,
+        built=built,
+        service=service,
+        audit=audit,
+        injectors=injectors,
+        ack_dropper=ack_dropper,
+        passthrough=passthrough,
+    )
+
+
+@dataclass
+class StreamComparison:
+    """Three arms under the identical live scenario and fault script.
+
+    Degradation is measured as *deviation from the fault-free arm*,
+    not as raw violation ratio. The naive passthrough arm does not
+    fail by letting violations through — its zero-filled cells poison
+    the state map into chronic over-throttling, which buys an
+    artificially *low* violation ratio by starving the batch tier (a
+    large :meth:`StreamDrillResult.batch_work` shortfall). Either
+    distortion — excess violations or phantom throttling — is a
+    departure from the controller's intended behavior, and deviation
+    from the fault-free run captures both directions.
+    """
+
+    fault_free: StreamDrillResult
+    assembled: StreamDrillResult
+    passthrough: StreamDrillResult
+
+    def degradation(self) -> float:
+        """Assembled-arm violation ratio relative to fault-free.
+
+        The chaos gate's headline number: ``<= 2.0`` means the
+        watermark assembler held the line. When the fault-free arm is
+        violation-free, any assembled violation counts as infinite
+        degradation (and 0/0 is a clean 1.0).
+        """
+        base = self.fault_free.violation_ratio()
+        assembled = self.assembled.violation_ratio()
+        if base == 0.0:
+            return 1.0 if assembled == 0.0 else float("inf")
+        return assembled / base
+
+    def deviation(self, arm: StreamDrillResult) -> float:
+        """|arm violation ratio - fault-free violation ratio|."""
+        return abs(arm.violation_ratio() - self.fault_free.violation_ratio())
+
+    def assembler_better(self) -> bool:
+        """True when the assembled arm tracks fault-free behavior
+        strictly closer than the assembler-less arm does."""
+        return self.deviation(self.assembled) < self.deviation(self.passthrough)
+
+    def summary(self) -> dict:
+        return {
+            "fault_free": self.fault_free.summary(),
+            "assembled": self.assembled.summary(),
+            "passthrough": self.passthrough.summary(),
+            "degradation": self.degradation(),
+            "assembled_deviation": self.deviation(self.assembled),
+            "passthrough_deviation": self.deviation(self.passthrough),
+            "assembler_better": self.assembler_better(),
+        }
+
+
+def run_stream_comparison(
+    scenario: Scenario,
+    mix: Optional[StreamChaosMix] = None,
+    config: Optional[StayAwayConfig] = None,
+) -> StreamComparison:
+    """Run fault-free, assembled+faults and passthrough+faults arms.
+
+    Scenario seeds and the fault script are shared, so any difference
+    between the assembled and passthrough arms is attributable to the
+    watermark assembler alone.
+    """
+    mix = mix if mix is not None else StreamChaosMix()
+    return StreamComparison(
+        fault_free=run_stream_drill(scenario, mix=None, config=config),
+        assembled=run_stream_drill(scenario, mix=mix, config=config),
+        passthrough=run_stream_drill(
+            scenario, mix=mix, config=config, passthrough=True
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Replay determinism: recorded wire stream vs the in-process controller
+# ---------------------------------------------------------------------------
+
+def record_reference(
+    scenario: Scenario, config: Optional[StayAwayConfig] = None
+) -> Tuple[List[dict], List[dict], StayAway]:
+    """Run a scenario in-process and capture its wire-record stream.
+
+    Returns ``(records, decisions, controller)`` — the recorder's
+    output, the in-process controller's decision sequence (the replay
+    gate's reference) and the controller itself for deeper assertions.
+    The recorder is registered *before* the controller so it captures
+    the same snapshot the controller acts on, pre-actuation.
+    """
+    built = scenario.build(include_batch=True)
+    controller = StayAway(built.sensitive_app, config=config)
+    recorder = StreamRecorder(sensitive_app=built.sensitive_app)
+    engine = SimulationEngine(built.host)
+    engine.add_middleware(recorder)
+    engine.add_middleware(controller)
+    engine.run(ticks=scenario.ticks)
+    return recorder.records, decision_sequence(controller), controller
+
+
+def replay_records(
+    records: List[dict], config: Optional[StayAwayConfig] = None
+) -> ControllerService:
+    """Replay wire records through a fresh service, to completion."""
+    source = QueueSource()
+    source.push(records)
+    source.close()
+    service = ControllerService(source, config=config)
+    service.run()
+    return service
+
+
+def check_replay_determinism(
+    scenario: Scenario, config: Optional[StayAwayConfig] = None
+) -> dict:
+    """The replay-determinism gate: record, replay, diff decisions.
+
+    ``match`` is True iff the replayed service produced the identical
+    THROTTLE/RESUME/PROBE_RESUME sequence (same ticks, same kinds,
+    same targets) as the in-process controller — plus a clean-stream
+    sanity check: a lossless replay must not count a single dropped,
+    duplicated, late or imputed record.
+    """
+    records, reference, _ = record_reference(scenario, config=config)
+    service = replay_records(records, config=config)
+    replayed = service.decision_sequence()
+    stream = service.summary()["telemetry"].get("stream", {})
+    clean = all(
+        stream.get(key, 0) == 0
+        for key in ("dropped", "duplicated", "late", "imputed")
+    )
+    return {
+        "reference_decisions": len(reference),
+        "replayed_decisions": len(replayed),
+        "match": replayed == reference,
+        "clean_stream": clean,
+        "first_divergence": next(
+            (
+                i
+                for i, (a, b) in enumerate(zip(reference, replayed))
+                if a != b
+            ),
+            None,
+        )
+        if replayed != reference
+        else None,
+        "stream": stream,
+    }
+
+
+__all__ = [
+    "SimStreamBridge",
+    "StreamChaosMix",
+    "StreamComparison",
+    "StreamDrillResult",
+    "check_replay_determinism",
+    "record_reference",
+    "replay_records",
+    "run_stream_comparison",
+    "run_stream_drill",
+]

@@ -21,11 +21,23 @@ stay correct under failure:
   timeout, bounded retry with exponential backoff, and
   rollback-to-source when the destination dies mid-copy.
 
-Layering: fleet may import ``core``, ``sim`` and ``monitoring``;
-nothing below it may import fleet (enforced by sacheck SA103).
+With ``config.fleet_cell_mode = "stream"`` each cell instead feeds its
+controller through the wire-record service seam
+(:class:`StreamHostCell` wrapping a
+:class:`~repro.service.controller_service.ControllerService` with
+acknowledged actuation) — the stepping stone to sharding cells across
+real processes.
+
+Layering: fleet may import ``core``, ``sim``, ``monitoring`` and
+``service``; nothing below it may import fleet (enforced by sacheck
+SA103).
 """
 
-from repro.fleet.coordinator import FleetCoordinator, HostControllerCell
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    HostControllerCell,
+    StreamHostCell,
+)
 from repro.fleet.migration import (
     MigrationState,
     MigrationSupervisor,
@@ -40,5 +52,6 @@ __all__ = [
     "InterferenceScorer",
     "MigrationState",
     "MigrationSupervisor",
+    "StreamHostCell",
     "SupervisedMigration",
 ]

@@ -91,7 +91,7 @@ class HostControllerCell:
         tick = snapshot.tick
         if self.breaker.allows(tick):
             try:
-                self.controller.on_tick(snapshot, host)
+                self._drive(snapshot, host)
                 self.breaker.record_success(tick)
                 self._last_run_ok = True
                 return
@@ -102,6 +102,10 @@ class HostControllerCell:
         else:
             self._last_run_ok = False
         self._fallback(snapshot, host)
+
+    def _drive(self, snapshot: "HostSnapshot", host: "Host") -> None:
+        """The predictive path (overridden by :class:`StreamHostCell`)."""
+        self.controller.on_tick(snapshot, host)
 
     def _fallback(self, snapshot: "HostSnapshot", host: "Host") -> None:
         """Reactive policy: pause batch on observed violation, resume later."""
@@ -160,6 +164,74 @@ class HostControllerCell:
             "breaker": self.breaker.state.value,
             "fallback_ticks": self.fallback_ticks,
         }
+
+
+class StreamHostCell(HostControllerCell):
+    """A cell whose controller consumes the host through the stream seam.
+
+    Selected with ``config.fleet_cell_mode = "stream"``: instead of
+    handing the controller the in-process snapshot, the cell
+    serializes each tick into the wire records a remote monitoring
+    agent would publish, pushes them through a
+    :class:`~repro.service.stream.QueueSource` into a
+    :class:`~repro.service.controller_service.ControllerService`, and
+    lets decisions travel back through the acknowledged
+    :class:`~repro.service.actuator.SimHostActuator` — process
+    separation without the process, and the stepping stone to
+    sharding cells across real ones. Decisions lag the host by the
+    stream watermark, and the reactive fallback acts on the *last
+    streamed* QoS report (the stream channel's ``on_tick`` does not
+    poll the application).
+    """
+
+    def __init__(
+        self,
+        host_name: str,
+        host: "Host",
+        app,
+        config: StayAwayConfig,
+        breaker: CircuitBreaker,
+        fallback_resume_after: int = 10,
+    ) -> None:
+        from repro.service import ControllerService, QueueSource, SimHostActuator
+
+        self.queue = QueueSource()
+        self.service = ControllerService(
+            self.queue, actuator=SimHostActuator(host), config=config
+        )
+        self.service.start()
+        super().__init__(
+            host_name,
+            self.service.controller,
+            breaker,
+            fallback_resume_after=fallback_resume_after,
+        )
+        self._app = app
+        self._header_done = False
+
+    def _drive(self, snapshot: "HostSnapshot", host: "Host") -> None:
+        from repro.service.recording import (
+            header_record,
+            qos_record,
+            snapshot_records,
+        )
+
+        records: List[dict] = []
+        if not self._header_done:
+            records.append(header_record(host, self.host_name))
+            self._header_done = True
+        records.extend(snapshot_records(snapshot, host, self.host_name))
+        qos = qos_record(snapshot.tick, self._app, self.host_name)
+        if qos is not None:
+            records.append(qos)
+        self.queue.push(records)
+        self.service.pump()
+
+    def summary(self) -> dict:
+        """Cell health plus the stream/actuator delivery census."""
+        out = super().summary()
+        out["stream"] = self.service.summary()["telemetry"]["stream"]
+        return out
 
 
 class FleetCoordinator:
@@ -236,9 +308,16 @@ class FleetCoordinator:
                 cooldown_ticks=self.config.breaker_cooldown,
                 probes=self.config.breaker_probes,
             )
-            self.cells[host_name] = HostControllerCell(
-                host_name, self._factory(host_name, app), breaker
-            )
+            if self.config.fleet_cell_mode == "stream":
+                # The service builds its own controller behind the
+                # seam; controller_factory does not apply here.
+                self.cells[host_name] = StreamHostCell(
+                    host_name, cluster.hosts[host_name], app, self.config, breaker
+                )
+            else:
+                self.cells[host_name] = HostControllerCell(
+                    host_name, self._factory(host_name, app), breaker
+                )
 
     # -- middleware interface ----------------------------------------------
     def on_cluster_tick(

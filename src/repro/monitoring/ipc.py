@@ -18,6 +18,7 @@ application-reported QoS.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.monitoring.timeseries import Series
@@ -59,15 +60,43 @@ class IpcViolationDetector:
         self.baseline_ipc: Optional[float] = None
         self.qos_series = Series(name=f"{container_name}:ipc")
         self.violation_ticks: List[int] = []
+        self.rejected_samples = 0
+        self.imputed_samples = 0
+        self._last_valid: Optional[float] = None
         self._last_report: Optional[QosReport] = None
 
     def observe_ipc(self, tick: int, ipc: float) -> QosReport:
-        """Feed one IPC reading; returns the derived QoS report."""
-        if self.baseline_ipc is None:
-            self.baseline_ipc = ipc
+        """Feed one IPC reading; returns the derived QoS report.
+
+        NaN/inf and non-positive readings (a stalled counter, a divide
+        by zero cycles upstream) never touch the baseline: a single
+        NaN would otherwise poison the decaying maximum permanently
+        and disable detection. Invalid samples are imputed from the
+        last valid reading (counted in :attr:`imputed_samples`); before
+        any valid reading exists they yield a neutral non-violating
+        report and are only counted in :attr:`rejected_samples`.
+        """
+        if not math.isfinite(ipc) or ipc <= 0.0:
+            self.rejected_samples += 1
+            if self._last_valid is None:
+                report = QosReport(value=1.0, threshold=self.threshold_fraction)
+                self._last_report = report
+                return report
+            ipc = self._last_valid
+            self.imputed_samples += 1
         else:
-            self.baseline_ipc = max(ipc, self.baseline_ipc * self.baseline_decay)
-        normalized = ipc / self.baseline_ipc if self.baseline_ipc > 0 else 1.0
+            self._last_valid = ipc
+            if self.baseline_ipc is None:
+                self.baseline_ipc = ipc
+            else:
+                self.baseline_ipc = max(
+                    ipc, self.baseline_ipc * self.baseline_decay
+                )
+        normalized = (
+            ipc / self.baseline_ipc
+            if self.baseline_ipc is not None and self.baseline_ipc > 0
+            else 1.0
+        )
         report = QosReport(value=normalized, threshold=self.threshold_fraction)
         self._last_report = report
         self.qos_series.append(tick, normalized)

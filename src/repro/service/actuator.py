@@ -1,0 +1,328 @@
+"""Pluggable, acknowledged actuation.
+
+In-process, a pause is a Python call that cannot be lost. A service's
+pause is a message to a remote agent that absolutely can be: delivered
+but unacknowledged, dropped outright, or executed twice. This module
+makes every pause/resume an :class:`ActuatorCommand` with an explicit
+acknowledgement contract:
+
+* the backend's :meth:`Actuator.deliver` returns ``True`` (delivered
+  and acked), ``None`` (delivered, ack pending/lost) or ``False``
+  (delivery failed outright);
+* the :class:`AckTracker` waits ``actuator_ack_timeout`` ticks for an
+  ack, then redelivers with doubling backoff up to
+  ``actuator_max_retries`` times;
+* a command that exhausts its retries is **dead-lettered**: recorded
+  in :attr:`AckTracker.dead_letters`, counted, and surfaced through
+  the controller's event log as an ``ACTION_ESCALATION`` — the same
+  operator-attention path :mod:`repro.core.action` uses for repair
+  budgets, so one pager covers both.
+
+Backends: :class:`SimHostActuator` applies commands to a live
+simulator host (the drills' closed loop), :class:`RecordingActuator`
+just logs them (dry runs, replay), :class:`NullActuator` acks
+everything instantly (unit tests / pure-decision replay).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.telemetry.registry import MetricRegistry
+
+
+class CommandStatus(enum.Enum):
+    """Lifecycle of one actuation command."""
+
+    PENDING = "pending"
+    ACKED = "acked"
+    DEAD_LETTERED = "dead-lettered"
+
+
+@dataclass
+class ActuatorCommand:
+    """One pause/resume order and its acknowledgement bookkeeping."""
+
+    command_id: int
+    verb: str  # "pause" | "resume"
+    container: str
+    issued_tick: int
+    status: CommandStatus = CommandStatus.PENDING
+    attempts: int = 0
+    next_attempt_tick: int = 0
+    resolved_tick: Optional[int] = None
+
+    @property
+    def pending(self) -> bool:
+        return self.status is CommandStatus.PENDING
+
+
+class Actuator:
+    """Backend interface: deliver one command attempt.
+
+    Returns ``True`` when the command landed *and* was acknowledged,
+    ``None`` when it was sent but no ack arrived (the tracker will
+    retry), ``False`` when delivery failed outright (also retried —
+    from the tracker's perspective an unacked send and a failed send
+    differ only in the telemetry label).
+    """
+
+    name = "actuator"
+
+    def deliver(self, command: ActuatorCommand, tick: int) -> Optional[bool]:
+        raise NotImplementedError
+
+
+class NullActuator(Actuator):
+    """Acks everything instantly; actions affect nothing."""
+
+    name = "null"
+
+    def __init__(self) -> None:
+        self.delivered: List[ActuatorCommand] = []
+
+    def deliver(self, command: ActuatorCommand, tick: int) -> Optional[bool]:
+        self.delivered.append(command)
+        return True
+
+
+@dataclass(frozen=True)
+class RecordedAction:
+    """One delivered command, as the recording backend logs it."""
+
+    tick: int
+    verb: str
+    container: str
+    command_id: int
+    attempt: int
+
+
+class RecordingActuator(Actuator):
+    """Logs every delivery and acks it; the dry-run backend."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.actions: List[RecordedAction] = []
+
+    def deliver(self, command: ActuatorCommand, tick: int) -> Optional[bool]:
+        self.actions.append(
+            RecordedAction(
+                tick=tick,
+                verb=command.verb,
+                container=command.container,
+                command_id=command.command_id,
+                attempt=command.attempts,
+            )
+        )
+        return True
+
+
+class SimHostActuator(Actuator):
+    """Applies commands to a live simulator host.
+
+    The ``host`` is duck-typed (``pause_container``/``resume_container``
+    /``containers``) — in practice a :class:`~repro.sim.host.Host`. An
+    optional ``ack_filter(command, tick) -> bool`` decides whether the
+    ack makes it back (the :class:`~repro.sim.faults.ActuatorAckDropper`
+    chaos hook): when it returns False the action still *happened* on
+    the host but the tracker sees no ack — the double-delivery case the
+    idempotent pause/resume semantics absorb.
+    """
+
+    name = "sim"
+
+    def __init__(
+        self,
+        host,
+        ack_filter: Optional[Callable[[ActuatorCommand, int], bool]] = None,
+    ) -> None:
+        self.host = host
+        self.ack_filter = ack_filter
+        self.applied: List[RecordedAction] = []
+
+    def deliver(self, command: ActuatorCommand, tick: int) -> Optional[bool]:
+        container = self.host.containers.get(command.container)
+        if container is None:
+            return False
+        try:
+            if command.verb == "pause":
+                if not container.is_paused:
+                    self.host.pause_container(command.container)
+            else:
+                if container.is_paused:
+                    self.host.resume_container(command.container)
+        except Exception:  # sacheck: disable=SA108 -- actuation boundary: a failed signal is a retryable delivery failure, not a service crash
+            return False
+        self.applied.append(
+            RecordedAction(
+                tick=tick,
+                verb=command.verb,
+                container=command.container,
+                command_id=command.command_id,
+                attempt=command.attempts,
+            )
+        )
+        if self.ack_filter is not None and not self.ack_filter(command, tick):
+            return None  # action landed; ack lost in transit
+        return True
+
+
+class AckTracker:
+    """Drives commands through deliver -> ack -> (retry) -> dead-letter.
+
+    Parameters
+    ----------
+    actuator:
+        The delivery backend.
+    ack_timeout:
+        Ticks to wait for an ack before redelivering.
+    max_retries:
+        Redelivery budget; attempt ``max_retries + 1`` failing
+        dead-letters the command.
+    backoff:
+        Base backoff in ticks; retry *n* waits ``backoff * 2**(n-1)``.
+    registry:
+        Registry for the ``actuator.*`` counters.
+    on_dead_letter:
+        Callback ``(command, tick)`` fired once per dead-lettered
+        command — the service uses it to raise the
+        ``ACTION_ESCALATION`` event.
+    """
+
+    def __init__(
+        self,
+        actuator: Actuator,
+        ack_timeout: int = 2,
+        max_retries: int = 3,
+        backoff: int = 1,
+        registry: Optional[MetricRegistry] = None,
+        on_dead_letter: Optional[Callable[[ActuatorCommand, int], None]] = None,
+    ) -> None:
+        if ack_timeout < 1:
+            raise ValueError("ack_timeout must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff < 1:
+            raise ValueError("backoff must be >= 1")
+        self.actuator = actuator
+        self.ack_timeout = ack_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.on_dead_letter = on_dead_letter
+        self.metrics = registry if registry is not None else MetricRegistry()
+        self._c_submitted = self.metrics.counter(
+            "actuator.submitted", help="pause/resume commands submitted"
+        )
+        self._c_acks = self.metrics.counter(
+            "actuator.acks", help="commands acknowledged by the backend"
+        )
+        self._c_retries = self.metrics.counter(
+            "actuator.retries", help="redelivery attempts after missing acks"
+        )
+        self._c_dead = self.metrics.counter(
+            "actuator.dead_lettered", help="commands whose retry budget ran out"
+        )
+        self._next_id = 0
+        self.commands: List[ActuatorCommand] = []
+        self.dead_letters: List[ActuatorCommand] = []
+
+    # -- introspection ----------------------------------------------------
+    def pending(self) -> List[ActuatorCommand]:
+        """Commands still awaiting an ack."""
+        return [c for c in self.commands if c.pending]
+
+    def pending_containers(self) -> Dict[str, str]:
+        """``{container: verb}`` of the newest in-flight command each."""
+        out: Dict[str, str] = {}
+        for command in self.commands:
+            if command.pending:
+                out[command.container] = command.verb
+        return out
+
+    def summary(self) -> dict:
+        return {
+            "submitted": int(self._c_submitted.value),
+            "acks": int(self._c_acks.value),
+            "retries": int(self._c_retries.value),
+            "dead_lettered": int(self._c_dead.value),
+            "pending": len(self.pending()),
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+    def submit(self, tick: int, verb: str, container: str) -> ActuatorCommand:
+        """Issue a command and attempt first delivery immediately.
+
+        A newer command for the same container supersedes any pending
+        older one (a resume overtaking an unacked pause must win — the
+        controller's latest intent is the only one worth retrying).
+        """
+        if verb not in ("pause", "resume"):
+            raise ValueError(f"unknown actuator verb: {verb!r}")
+        for old in self.commands:
+            if old.pending and old.container == container:
+                old.status = CommandStatus.ACKED  # superseded; stop retrying
+                old.resolved_tick = tick
+        command = ActuatorCommand(
+            command_id=self._next_id,
+            verb=verb,
+            container=container,
+            issued_tick=tick,
+        )
+        self._next_id += 1
+        self.commands.append(command)
+        self._c_submitted.inc()
+        self._attempt(command, tick)
+        return command
+
+    def _attempt(self, command: ActuatorCommand, tick: int) -> None:
+        command.attempts += 1
+        acked = self.actuator.deliver(command, tick)
+        if acked is True:
+            command.status = CommandStatus.ACKED
+            command.resolved_tick = tick
+            self._c_acks.inc()
+            return
+        # Unacked (None) or failed (False): schedule the next attempt
+        # after the ack window plus exponential backoff.
+        wait = self.ack_timeout + self.backoff * (2 ** (command.attempts - 1))
+        command.next_attempt_tick = tick + wait
+
+    def step(self, tick: int) -> None:
+        """Retry overdue commands; dead-letter exhausted ones."""
+        for command in self.commands:
+            if not command.pending or tick < command.next_attempt_tick:
+                continue
+            if command.attempts > self.max_retries:
+                self._dead_letter(command, tick)
+                continue
+            self._c_retries.inc()
+            self._attempt(command, tick)
+            if command.pending and command.attempts > self.max_retries:
+                # Last permitted attempt also went unacked; don't keep
+                # the command in limbo for another full window.
+                command.next_attempt_tick = tick + self.ack_timeout
+
+    def drain(self, tick: int) -> None:
+        """Resolve every in-flight command before shutdown.
+
+        Pending commands get one final delivery attempt; anything
+        still unacked is dead-lettered so the service stops with zero
+        unreconciled commands — every order is either acked or on the
+        dead-letter log.
+        """
+        for command in self.pending():
+            self._c_retries.inc()
+            self._attempt(command, tick)
+            if command.pending:
+                self._dead_letter(command, tick)
+
+    def _dead_letter(self, command: ActuatorCommand, tick: int) -> None:
+        command.status = CommandStatus.DEAD_LETTERED
+        command.resolved_tick = tick
+        self.dead_letters.append(command)
+        self._c_dead.inc()
+        if self.on_dead_letter is not None:
+            self.on_dead_letter(command, tick)

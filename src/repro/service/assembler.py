@@ -1,0 +1,447 @@
+"""Watermark reassembly of a disordered metric stream into closed ticks.
+
+A real metric transport delivers samples late, twice, out of order, or
+not at all. The controller, by contrast, wants exactly one measurement
+vector per tick, in tick order, *now*. The :class:`StreamAssembler`
+bridges the two with a watermark protocol:
+
+* records for tick ``t`` are buffered until the watermark passes —
+  i.e. until a record for tick ``t + watermark`` (or later) has been
+  seen — then tick ``t`` is **closed** and delivered in order;
+* duplicates within a ``(tick, host, container, metric)`` cell keep
+  the first-seen value (``stream.duplicated``);
+* records older than the newest seen tick but not yet closed are
+  accepted and counted ``stream.reordered`` — buffering is exactly
+  what makes them usable;
+* records for already-closed ticks are counted ``stream.late`` and
+  dropped — the controller has moved on;
+* cells still missing at close are counted ``stream.dropped``, filled
+  from that cell's last delivered value when one exists
+  (``stream.imputed``) or NaN otherwise, and the tick is flagged
+  partial (``stream.ticks_closed_partial``) — *partial-but-bounded*
+  data instead of blocking;
+* a cell missing for ``retire_after`` *consecutive* closes is retired
+  (``stream.cells_retired``): the container has left the host (fleet
+  migration, removal) rather than dropped a sample, so holding its
+  last value would impute a ghost forever. Transient faults never
+  trip this — at a 5% drop rate, 8 consecutive misses is a
+  :math:`0.05^8` event. Gap ticks do not advance retirement streaks
+  (a wholly-missing tick is a transport hole, not a departure), and a
+  retired cell re-registers the moment a sample for it reappears;
+* wholly-missing ticks between closures are synthesized as NaN-valued
+  gap ticks (``stream.gap_ticks``) so the controller's existing
+  :class:`~repro.monitoring.guard.SensorGuard` performs the imputation
+  and its staleness accounting, exactly as for an in-process sensor
+  dropout.
+
+:class:`PassthroughAssembler` is the ablation arm: no watermark, no
+dedup, zero-fill for missing cells — what a naive stream consumer
+does, and what ``benchmarks/bench_stream_service.py`` shows degrading
+far beyond the assembled arm under the same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import MetricRegistry
+
+#: A metric cell address within one tick: ``(host, container, metric)``.
+CellKey = Tuple[str, str, str]
+
+
+@dataclass
+class ClosedTick:
+    """One assembled tick, ready for the controller.
+
+    Attributes
+    ----------
+    tick:
+        The data tick this closure describes.
+    host:
+        Host the samples belong to.
+    usage:
+        ``{container: {metric: value}}``; imputed cells carry the last
+        delivered value, unknown cells NaN.
+    states:
+        ``{container: (state, finished, sensitive)}`` — lifecycle
+        state string, application-finished flag and container kind
+        (held from the last delivery when this tick carried no state
+        record).
+    qos:
+        ``(value, threshold)`` when the sensitive application reported
+        QoS this tick, else ``None``.
+    partial:
+        True when at least one expected cell was missing at close.
+    gap:
+        True when *no* record at all arrived for this tick (the usage
+        is all-NaN and flows through the SensorGuard's imputation).
+    """
+
+    tick: int
+    host: str
+    usage: Dict[str, Dict[str, float]]
+    states: Dict[str, Tuple[str, bool, bool]]
+    qos: Optional[Tuple[float, float]] = None
+    partial: bool = False
+    gap: bool = False
+
+
+@dataclass
+class _PendingTick:
+    cells: Dict[CellKey, float] = field(default_factory=dict)
+    states: Dict[str, Tuple[str, bool, bool]] = field(default_factory=dict)
+    qos: Optional[Tuple[float, float]] = None
+
+
+class StreamAssembler:
+    """Reorder, deduplicate and close a metric stream by watermark.
+
+    Parameters
+    ----------
+    watermark:
+        Ticks of reorder slack: tick ``t`` closes once a record for
+        ``t + watermark`` has been seen. ``0`` closes each tick as
+        soon as any record for it arrives (no reorder tolerance).
+    retire_after:
+        Consecutive non-gap closes a cell may miss before it is
+        retired from the expected set (its container is presumed to
+        have left the host). ``0`` disables retirement.
+    registry:
+        Shared :class:`~repro.telemetry.registry.MetricRegistry` for
+        the ``stream.*`` delivery counters; a private registry is
+        created when none is given.
+    """
+
+    def __init__(
+        self,
+        watermark: int = 2,
+        retire_after: int = 8,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if watermark < 0:
+            raise ValueError("watermark must be non-negative")
+        if retire_after < 0:
+            raise ValueError("retire_after must be non-negative")
+        self.watermark = watermark
+        self.retire_after = retire_after
+        self.metrics = registry if registry is not None else MetricRegistry()
+        self._c_dropped = self.metrics.counter(
+            "stream.dropped", help="cells missing at tick close"
+        )
+        self._c_duplicated = self.metrics.counter(
+            "stream.duplicated", help="duplicate cells discarded (first wins)"
+        )
+        self._c_reordered = self.metrics.counter(
+            "stream.reordered", help="records that arrived behind a newer tick"
+        )
+        self._c_late = self.metrics.counter(
+            "stream.late", help="records for already-closed ticks (dropped)"
+        )
+        self._c_imputed = self.metrics.counter(
+            "stream.imputed", help="missing cells filled from their last value"
+        )
+        self._c_partial = self.metrics.counter(
+            "stream.ticks_closed_partial", help="ticks closed with missing cells"
+        )
+        self._c_gaps = self.metrics.counter(
+            "stream.gap_ticks", help="wholly-missing ticks synthesized as NaN"
+        )
+        self._c_retired = self.metrics.counter(
+            "stream.cells_retired",
+            help="cells retired after sustained absence (container departed)",
+        )
+        self.header: Optional[dict] = None
+        self._pending: Dict[int, _PendingTick] = {}
+        self._known_cells: Dict[CellKey, None] = {}  # insertion-ordered set
+        self._miss_streak: Dict[CellKey, int] = {}
+        self._last_value: Dict[CellKey, float] = {}
+        self._last_state: Dict[str, Tuple[str, bool, bool]] = {}
+        self._max_seen: Optional[int] = None
+        self._last_closed: Optional[int] = None
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def max_seen(self) -> Optional[int]:
+        """Newest data tick any record has carried so far."""
+        return self._max_seen
+
+    @property
+    def last_closed(self) -> Optional[int]:
+        """Most recently closed tick (None before the first closure)."""
+        return self._last_closed
+
+    def pending_ticks(self) -> List[int]:
+        """Buffered, not-yet-closed ticks in order."""
+        return sorted(self._pending)
+
+    def summary(self) -> dict:
+        """The ``stream.*`` delivery counters as plain ints."""
+        return {
+            "dropped": int(self._c_dropped.value),
+            "duplicated": int(self._c_duplicated.value),
+            "reordered": int(self._c_reordered.value),
+            "late": int(self._c_late.value),
+            "imputed": int(self._c_imputed.value),
+            "ticks_closed_partial": int(self._c_partial.value),
+            "gap_ticks": int(self._c_gaps.value),
+            "cells_retired": int(self._c_retired.value),
+        }
+
+    # -- ingestion ----------------------------------------------------------
+    def offer(self, record: dict) -> None:
+        """Accept one wire record (any order, any number of times)."""
+        kind = record.get("kind")
+        if kind == "header":
+            if self.header is None:
+                self.header = dict(record)
+                for container, c_kind in sorted(record.get("containers", {}).items()):
+                    self._last_state.setdefault(
+                        container, ("created", False, c_kind == "sensitive")
+                    )
+            return
+        tick = record.get("tick")
+        if not isinstance(tick, int):
+            return  # malformed; transport noise is not worth crashing over
+        if self._last_closed is not None and tick <= self._last_closed:
+            self._c_late.inc()
+            return
+        if self._max_seen is not None and tick < self._max_seen:
+            self._c_reordered.inc()
+        if self._max_seen is None or tick > self._max_seen:
+            self._max_seen = tick
+        pending = self._pending.setdefault(tick, _PendingTick())
+        host = record.get("host", "host0")
+        if kind == "sample":
+            container = record.get("container", "")
+            for metric, value in record.get("metrics", {}).items():
+                key = (host, container, metric)
+                if key in pending.cells:
+                    self._c_duplicated.inc()
+                    continue
+                pending.cells[key] = float(value)
+                self._known_cells.setdefault(key, None)
+        elif kind == "state":
+            container = record.get("container", "")
+            sensitive = bool(
+                record.get(
+                    "sensitive",
+                    self._last_state.get(container, ("created", False, False))[2],
+                )
+            )
+            pending.states[container] = (
+                str(record.get("state", "running")),
+                bool(record.get("finished", False)),
+                sensitive,
+            )
+        elif kind == "qos":
+            if pending.qos is None:
+                value = record.get("value")
+                threshold = record.get("threshold")
+                if value is not None and threshold is not None:
+                    pending.qos = (float(value), float(threshold))
+
+    # -- closing ------------------------------------------------------------
+    def due(self, force: bool = False) -> List[ClosedTick]:
+        """Close every tick whose watermark expired, in order.
+
+        With ``force=True`` everything buffered closes regardless of
+        the watermark — the drain path.
+        """
+        if self._max_seen is None:
+            return []
+        horizon = self._max_seen if force else self._max_seen - self.watermark
+        start = (
+            self._last_closed + 1
+            if self._last_closed is not None
+            else (min(self._pending) if self._pending else horizon + 1)
+        )
+        closed: List[ClosedTick] = []
+        for tick in range(start, horizon + 1):
+            closed.append(self._close(tick))
+            self._last_closed = tick
+        return closed
+
+    def _close(self, tick: int) -> ClosedTick:
+        pending = self._pending.pop(tick, None)
+        host = (self.header or {}).get("host", "host0")
+        if pending is None or (not pending.cells and not pending.states):
+            self._c_gaps.inc()
+            usage: Dict[str, Dict[str, float]] = {}
+            for cell_host, container, metric in self._known_cells:
+                usage.setdefault(container, {})[metric] = float("nan")
+            qos = pending.qos if pending is not None else None
+            return ClosedTick(
+                tick=tick,
+                host=host,
+                usage=usage,
+                states=dict(self._last_state),
+                qos=qos,
+                partial=bool(self._known_cells),
+                gap=True,
+            )
+
+        usage = {}
+        partial = False
+        retired: List[CellKey] = []
+        for key in list(self._known_cells):
+            cell_host, container, metric = key
+            if key in pending.cells:
+                value = pending.cells[key]
+                self._last_value[key] = value
+                self._miss_streak.pop(key, None)
+            else:
+                streak = self._miss_streak.get(key, 0) + 1
+                if self.retire_after and streak >= self.retire_after:
+                    # Sustained absence: the container has left the host
+                    # (migration, removal) — stop expecting the cell
+                    # instead of imputing a ghost forever.
+                    del self._known_cells[key]
+                    self._miss_streak.pop(key, None)
+                    self._last_value.pop(key, None)
+                    self._c_retired.inc()
+                    retired.append(key)
+                    continue
+                self._miss_streak[key] = streak
+                partial = True
+                self._c_dropped.inc()
+                if key in self._last_value:
+                    value = self._last_value[key]
+                    self._c_imputed.inc()
+                else:
+                    value = float("nan")
+            usage.setdefault(container, {})[metric] = value
+
+        states = dict(self._last_state)
+        states.update(pending.states)
+        if retired:
+            # Drop held lifecycle state for containers with no
+            # remaining expected cells — they departed with their data.
+            live = {container for _, container, _ in self._known_cells}
+            gone = {container for _, container, _ in retired} - live
+            for container in gone:
+                states.pop(container, None)
+        self._last_state = dict(states)
+        if partial:
+            self._c_partial.inc()
+        return ClosedTick(
+            tick=tick,
+            host=host,
+            usage=usage,
+            states=states,
+            qos=pending.qos,
+            partial=partial,
+            gap=False,
+        )
+
+
+class PassthroughAssembler:
+    """The assembler-less ablation: apply records as they arrive.
+
+    No watermark (a tick closes the moment a newer one is seen, so
+    delayed records of the old tick are lost), no deduplication
+    (duplicates overwrite), no imputation (missing cells read 0.0 —
+    the classic naive-consumer zero-fill that poisons the map), and no
+    gap synthesis (skipped ticks never reach the controller at all).
+    Interface-compatible with :class:`StreamAssembler` so the drills
+    swap arms without touching the service.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.watermark = 0
+        self.metrics = registry if registry is not None else MetricRegistry()
+        self.header: Optional[dict] = None
+        self._pending: Dict[int, _PendingTick] = {}
+        self._known_cells: Dict[CellKey, None] = {}
+        self._last_state: Dict[str, Tuple[str, bool, bool]] = {}
+        self._max_seen: Optional[int] = None
+        self._last_closed: Optional[int] = None
+
+    @property
+    def max_seen(self) -> Optional[int]:
+        return self._max_seen
+
+    @property
+    def last_closed(self) -> Optional[int]:
+        return self._last_closed
+
+    def pending_ticks(self) -> List[int]:
+        return sorted(self._pending)
+
+    def summary(self) -> dict:
+        return {}
+
+    def offer(self, record: dict) -> None:
+        kind = record.get("kind")
+        if kind == "header":
+            if self.header is None:
+                self.header = dict(record)
+                for container, c_kind in sorted(record.get("containers", {}).items()):
+                    self._last_state.setdefault(
+                        container, ("created", False, c_kind == "sensitive")
+                    )
+            return
+        tick = record.get("tick")
+        if not isinstance(tick, int):
+            return
+        if self._last_closed is not None and tick <= self._last_closed:
+            return  # late: silently lost
+        if self._max_seen is None or tick > self._max_seen:
+            self._max_seen = tick
+        pending = self._pending.setdefault(tick, _PendingTick())
+        host = record.get("host", "host0")
+        if kind == "sample":
+            container = record.get("container", "")
+            for metric, value in record.get("metrics", {}).items():
+                key = (host, container, metric)
+                pending.cells[key] = float(value)  # duplicates overwrite
+                self._known_cells.setdefault(key, None)
+        elif kind == "state":
+            container = record.get("container", "")
+            sensitive = bool(
+                record.get(
+                    "sensitive",
+                    self._last_state.get(container, ("created", False, False))[2],
+                )
+            )
+            pending.states[container] = (
+                str(record.get("state", "running")),
+                bool(record.get("finished", False)),
+                sensitive,
+            )
+        elif kind == "qos":
+            value = record.get("value")
+            threshold = record.get("threshold")
+            if value is not None and threshold is not None:
+                pending.qos = (float(value), float(threshold))
+
+    def due(self, force: bool = False) -> List[ClosedTick]:
+        if self._max_seen is None:
+            return []
+        horizon = self._max_seen if force else self._max_seen - 1
+        closed: List[ClosedTick] = []
+        for tick in sorted(self._pending):
+            if tick > horizon:
+                break
+            pending = self._pending.pop(tick)
+            usage: Dict[str, Dict[str, float]] = {}
+            for key in self._known_cells:
+                cell_host, container, metric = key
+                usage.setdefault(container, {})[metric] = pending.cells.get(key, 0.0)
+            states = dict(self._last_state)
+            states.update(pending.states)
+            self._last_state = dict(states)
+            closed.append(
+                ClosedTick(
+                    tick=tick,
+                    host=(self.header or {}).get("host", "host0"),
+                    usage=usage,
+                    states=states,
+                    qos=pending.qos,
+                    partial=len(pending.cells) < len(self._known_cells),
+                    gap=False,
+                )
+            )
+            self._last_closed = tick
+        return closed

@@ -1,0 +1,145 @@
+"""Expose live host state as Prometheus gauges for the scrape source.
+
+:class:`UsageGaugeExporter` is the publishing half of the scrape
+round trip: an engine middleware that mirrors each tick's snapshot
+into a dedicated :class:`~repro.telemetry.registry.MetricRegistry` as
+the ``<prefix>_*`` gauge families
+:class:`~repro.service.stream.PrometheusScrapeSource` parses back:
+
+=============================  =======================================
+family                          meaning
+=============================  =======================================
+``<prefix>_tick{host}``         newest data tick in this exposition
+``<prefix>_capacity{metric}``   host capacity per resource
+``<prefix>_usage{...}``         per-container per-metric usage
+``<prefix>_container_state``    1.0 on the current lifecycle state
+``<prefix>_container_finished`` 1.0 once the hosted app finished
+``<prefix>_qos{container}``     sensitive app's latest QoS value
+``<prefix>_qos_threshold``      its violation threshold
+=============================  =======================================
+
+:meth:`scrape` renders the registry with
+:func:`repro.telemetry.exporters.to_prometheus_text` — values use
+exact round-trip formatting, so a scraped measurement equals the
+snapshot's float bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.telemetry.exporters import to_prometheus_text
+from repro.telemetry.registry import MetricRegistry
+
+from repro.service.recording import qos_record
+
+if TYPE_CHECKING:
+    from repro.sim.host import Host, HostSnapshot
+    from repro.workloads.base import Application
+
+#: Lifecycle states every container's state family enumerates.
+_STATES = ("created", "running", "paused", "stopped")
+
+
+class UsageGaugeExporter:
+    """Mirror host snapshots into scrapeable gauge families.
+
+    Parameters
+    ----------
+    sensitive_app:
+        Application whose QoS reports feed the ``_qos`` families;
+        discovered from the host on the first tick when omitted.
+    host_name / prefix:
+        Labels matching what the paired
+        :class:`~repro.service.stream.PrometheusScrapeSource` expects.
+    """
+
+    def __init__(
+        self,
+        sensitive_app: Optional["Application"] = None,
+        host_name: str = "host0",
+        prefix: str = "stayaway",
+    ) -> None:
+        self.registry = MetricRegistry()
+        self.sensitive_app = sensitive_app
+        self.host_name = host_name
+        self.prefix = prefix
+        self._capacity_done = False
+
+    def on_tick(self, snapshot: "HostSnapshot", host: "Host") -> None:
+        prefix = self.prefix
+        if not self._capacity_done:
+            for resource, value in host.capacity.items():
+                self.registry.gauge(
+                    f"{prefix}_capacity",
+                    help="host capacity per resource",
+                    labels={"metric": resource.value},
+                ).set(value)
+            if self.sensitive_app is None:
+                sensitive = host.sensitive_containers()
+                if sensitive:
+                    self.sensitive_app = sensitive[0].app
+            self._capacity_done = True
+
+        self.registry.gauge(
+            f"{prefix}_tick",
+            help="newest data tick in this exposition",
+            labels={"host": self.host_name},
+        ).set(snapshot.tick)
+
+        for name, usage in snapshot.usage.items():
+            for resource, value in usage.items():
+                self.registry.gauge(
+                    f"{prefix}_usage",
+                    help="per-container resource usage",
+                    labels={
+                        "host": self.host_name,
+                        "container": name,
+                        "metric": resource.value,
+                    },
+                ).set(value)
+
+        for name, state in snapshot.states.items():
+            container = host.containers.get(name)
+            kind = (
+                "sensitive"
+                if container is not None and container.sensitive
+                else "batch"
+            )
+            for candidate in _STATES:
+                self.registry.gauge(
+                    f"{prefix}_container_state",
+                    help="1.0 on the container's current lifecycle state",
+                    labels={
+                        "container": name,
+                        "state": candidate,
+                        "container_kind": kind,
+                    },
+                ).set(1.0 if state.value == candidate else 0.0)
+            self.registry.gauge(
+                f"{prefix}_container_finished",
+                help="1.0 once the hosted application finished",
+                labels={"container": name},
+            ).set(
+                1.0
+                if container is not None and container.app.finished
+                else 0.0
+            )
+
+        if self.sensitive_app is not None:
+            record = qos_record(snapshot.tick, self.sensitive_app, self.host_name)
+            if record is not None:
+                self.registry.gauge(
+                    f"{prefix}_qos",
+                    help="sensitive application's latest QoS value",
+                    labels={"container": record["container"]},
+                ).set(record["value"])
+                self.registry.gauge(
+                    f"{prefix}_qos_threshold",
+                    help="QoS violation threshold",
+                    labels={"container": record["container"]},
+                ).set(record["threshold"])
+
+    def scrape(self) -> str:
+        """The current exposition text (the scrape source's callable)."""
+        return to_prometheus_text(self.registry)

@@ -29,6 +29,7 @@ Two layers:
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -986,3 +987,251 @@ class TelemetryBlackout:
             else:
                 visible[host] = snapshot
         self.inner.on_cluster_tick(visible, cluster)
+
+
+# ---------------------------------------------------------------------------
+# Stream-transport faults: the metric stream itself misbehaves
+# ---------------------------------------------------------------------------
+#
+# These wrap a stream *source* — any object with ``poll() -> List[dict]``,
+# ``reconnect()`` and ``exhausted`` (the ``repro.service.stream`` duck
+# type; wire records are plain dicts, so this module needs no service
+# import and the layering stays one-directional). Every probabilistic
+# decision is a pure function of ``(seed, tick, record-key)`` via
+# ``np.random.default_rng([seed, tick, key])``, with string keys hashed
+# by :func:`zlib.crc32` (stable across processes, unlike ``hash``) — the
+# fault script is identical across the assembler-on / assembler-off
+# arms regardless of how each consumer behaves after the first fault.
+
+
+def _record_key(record: dict) -> int:
+    """Stable per-record hash for seeded fault decisions."""
+    text = "{}|{}".format(record.get("kind", ""), record.get("container", ""))
+    return zlib.crc32(text.encode("utf-8"))
+
+
+class StreamDropper:
+    """Lose wire records in transit with a seeded per-record probability.
+
+    Only tick-bearing records are dropped (the ``header`` always
+    arrives — losing it is a different failure: a dead stream). The
+    assembler sees the loss as missing cells at close and imputes;
+    the assembler-less arm zero-fills and poisons its map.
+    """
+
+    def __init__(self, inner, seed: int = 0, probability: float = 0.05) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.inner = inner
+        self.seed = seed
+        self.probability = probability
+        self.dropped: List[FaultEvent] = []
+
+    def poll(self) -> List[dict]:
+        kept: List[dict] = []
+        for record in self.inner.poll():
+            tick = record.get("tick")
+            if tick is None:
+                kept.append(record)
+                continue
+            rng = np.random.default_rng([self.seed, tick, _record_key(record), 2])
+            if rng.uniform() < self.probability:
+                self.dropped.append(
+                    FaultEvent(
+                        tick=tick,
+                        kind="stream-drop",
+                        target=str(record.get("container", record.get("kind"))),
+                    )
+                )
+                continue
+            kept.append(record)
+        return kept
+
+    def reconnect(self) -> None:
+        self.inner.reconnect()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.inner.exhausted
+
+
+class StreamReorderer:
+    """Delay wire records so they arrive behind newer ticks.
+
+    With probability ``probability`` a tick-bearing record is held for
+    ``1..max_delay`` polls before delivery — by which time newer ticks
+    have usually passed it, so the consumer sees genuine reordering.
+    Held records still drain after the inner source is exhausted
+    (delayed, not lost).
+    """
+
+    def __init__(
+        self,
+        inner,
+        seed: int = 0,
+        probability: float = 0.1,
+        max_delay: int = 3,
+    ) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self.inner = inner
+        self.seed = seed
+        self.probability = probability
+        self.max_delay = max_delay
+        self.delayed: List[FaultEvent] = []
+        self._poll_index = 0
+        self._held: List[Tuple[int, dict]] = []  # (due poll index, record)
+
+    def poll(self) -> List[dict]:
+        self._poll_index += 1
+        out: List[dict] = []
+        still_held: List[Tuple[int, dict]] = []
+        for due, record in self._held:
+            if due <= self._poll_index:
+                out.append(record)
+            else:
+                still_held.append((due, record))
+        self._held = still_held
+        for record in self.inner.poll():
+            tick = record.get("tick")
+            if tick is None:
+                out.append(record)
+                continue
+            rng = np.random.default_rng([self.seed, tick, _record_key(record), 3])
+            if rng.uniform() < self.probability:
+                delay = 1 + int(rng.integers(self.max_delay))
+                self._held.append((self._poll_index + delay, record))
+                self.delayed.append(
+                    FaultEvent(
+                        tick=tick,
+                        kind="stream-reorder",
+                        target=str(record.get("container", record.get("kind"))),
+                    )
+                )
+                continue
+            out.append(record)
+        return out
+
+    def reconnect(self) -> None:
+        self.inner.reconnect()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.inner.exhausted and not self._held
+
+
+class StreamDuplicator:
+    """Deliver wire records twice — once now, once a poll later.
+
+    At-least-once transports redeliver; the assembler's
+    ``(tick, host, container, metric)`` dedup key absorbs the copy,
+    the naive consumer double-applies it.
+    """
+
+    def __init__(self, inner, seed: int = 0, probability: float = 0.1) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.inner = inner
+        self.seed = seed
+        self.probability = probability
+        self.duplicated: List[FaultEvent] = []
+        self._echo: List[dict] = []
+
+    def poll(self) -> List[dict]:
+        out: List[dict] = list(self._echo)
+        self._echo = []
+        for record in self.inner.poll():
+            out.append(record)
+            tick = record.get("tick")
+            if tick is None:
+                continue
+            rng = np.random.default_rng([self.seed, tick, _record_key(record), 4])
+            if rng.uniform() < self.probability:
+                self._echo.append(dict(record))
+                self.duplicated.append(
+                    FaultEvent(
+                        tick=tick,
+                        kind="stream-duplicate",
+                        target=str(record.get("container", record.get("kind"))),
+                    )
+                )
+        return out
+
+    def reconnect(self) -> None:
+        self.inner.reconnect()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.inner.exhausted and not self._echo
+
+
+class StreamStaller:
+    """Freeze the transport for scripted windows of polls.
+
+    During a stall the wrapper neither polls the inner source nor
+    delivers anything — the consumer's newest tick stops advancing,
+    which is exactly what its stall-deadline degradation watches for.
+    Data is delayed, not lost: polling resumes where it left off.
+    Windows are ``(start, end)`` in *poll indices* (first poll is 1).
+    """
+
+    def __init__(self, inner, windows: Optional[List[Tuple[int, int]]] = None) -> None:
+        self.inner = inner
+        self.windows = list(windows or [])
+        for start, end in self.windows:
+            if end <= start:
+                raise ValueError(f"empty stall window ({start}, {end})")
+        self.stalled_polls: List[int] = []
+        self._poll_index = 0
+
+    def stall(self, start: int, end: int) -> "StreamStaller":
+        """Add a stall window covering polls ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty stall window ({start}, {end})")
+        self.windows.append((start, end))
+        return self
+
+    def poll(self) -> List[dict]:
+        self._poll_index += 1
+        if any(start <= self._poll_index < end for start, end in self.windows):
+            self.stalled_polls.append(self._poll_index)
+            return []
+        return self.inner.poll()
+
+    def reconnect(self) -> None:
+        self.inner.reconnect()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.inner.exhausted
+
+
+class ActuatorAckDropper:
+    """Lose actuation acknowledgements with a seeded probability.
+
+    Plugs into :class:`~repro.service.actuator.SimHostActuator` as its
+    ``ack_filter``: the pause/resume *lands* on the host but the ack
+    does not come back, so the tracker redelivers — the
+    at-least-once double-delivery case idempotent pause/resume must
+    absorb. Deterministic in ``(seed, tick, command_id)``.
+    """
+
+    def __init__(self, seed: int = 0, probability: float = 0.3) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.seed = seed
+        self.probability = probability
+        self.dropped_acks: List[FaultEvent] = []
+
+    def __call__(self, command, tick: int) -> bool:
+        rng = np.random.default_rng(
+            [self.seed, tick, int(command.command_id), int(command.attempts), 5]
+        )
+        if rng.uniform() < self.probability:
+            self.dropped_acks.append(
+                FaultEvent(tick=tick, kind="ack-drop", target=command.container)
+            )
+            return False
+        return True

@@ -49,13 +49,36 @@ def registry_snapshot(registry: MetricRegistry) -> Dict[str, Any]:
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
+def _prom_value(value: float) -> str:
+    """A sample value as text that parses back to the identical float.
+
+    ``repr`` of a Python float is the shortest string that round-trips
+    exactly — the property the scrape-source parser
+    (:func:`repro.service.stream.parse_prometheus_text`) relies on.
+    The previous ``%g`` rendering kept only 6 significant digits,
+    which silently perturbed replayed measurements.
+    """
+    return repr(float(value))
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (`\\`, `"`, LF).
+
+    The scrape parser (:func:`repro.service.stream.parse_prometheus_text`)
+    applies the inverse unescape, so label values round-trip exactly.
+    """
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
 def _prom_labels(metric, extra: Optional[Dict[str, str]] = None) -> str:
     pairs = list(metric.labels)
     if extra:
         pairs.extend(sorted(extra.items()))
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_prom_label_value(str(v))}"' for k, v in pairs)
     return f"{{{inner}}}"
 
 
@@ -81,10 +104,12 @@ def to_prometheus_text(registry: MetricRegistry) -> str:
         name = prometheus_name(metric.name)
         if isinstance(metric, Counter):
             header(f"{name}_total", "counter", metric.help)
-            lines.append(f"{name}_total{_prom_labels(metric)} {metric.value:g}")
+            lines.append(
+                f"{name}_total{_prom_labels(metric)} {_prom_value(metric.value)}"
+            )
         elif isinstance(metric, Gauge):
             header(name, "gauge", metric.help)
-            lines.append(f"{name}{_prom_labels(metric)} {metric.value:g}")
+            lines.append(f"{name}{_prom_labels(metric)} {_prom_value(metric.value)}")
         elif isinstance(metric, Histogram):
             header(name, "histogram", metric.help)
             for bound, cumulative in metric.cumulative_buckets():
@@ -92,7 +117,7 @@ def to_prometheus_text(registry: MetricRegistry) -> str:
                 lines.append(
                     f"{name}_bucket{_prom_labels(metric, {'le': le})} {cumulative}"
                 )
-            lines.append(f"{name}_sum{_prom_labels(metric)} {metric.sum:g}")
+            lines.append(f"{name}_sum{_prom_labels(metric)} {_prom_value(metric.sum)}")
             lines.append(f"{name}_count{_prom_labels(metric)} {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 

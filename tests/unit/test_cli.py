@@ -179,3 +179,41 @@ class TestCommands:
         assert "crash" not in output.split("improvement")[0].replace(
             "host crashes", ""
         )  # no coordinator crash in the arm table
+
+    def test_serve_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--replay", "a.jsonl", "--scrape", "b.prom"]
+            )
+
+    def test_record_stream_then_serve_replay(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code, output = run_cli([
+            "run", "--ticks", "120", "--seed", "1",
+            "--record-stream", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "wire records" in output
+        code, output = run_cli([
+            "serve", "--replay", str(path), "--seed", "1",
+        ])
+        assert code == 0
+        assert "ticks processed" in output
+        assert "120" in output
+        assert "dead-lettered" in output
+        assert "stopped" in output
+
+    def test_serve_watermark_override(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        run_cli([
+            "run", "--ticks", "60", "--seed", "1",
+            "--record-stream", str(path),
+        ])
+        code, output = run_cli([
+            "serve", "--replay", str(path), "--watermark", "0",
+        ])
+        assert code == 0
+        assert "ticks processed" in output

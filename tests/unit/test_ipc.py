@@ -49,6 +49,47 @@ class TestObserveIpc:
         assert detector.baseline_ipc < 1.0
         assert detector.baseline_ipc >= 0.5
 
+    def test_nan_never_touches_baseline(self):
+        """Regression: one NaN used to poison the decaying maximum
+        permanently (max(nan, x) propagates), silencing detection."""
+        detector = IpcViolationDetector("c", threshold_fraction=0.9)
+        detector.observe_ipc(0, 1.0)
+        report = detector.observe_ipc(1, float("nan"))
+        assert detector.baseline_ipc == pytest.approx(1.0)
+        assert not report.violated  # imputed from the last valid reading
+        assert detector.rejected_samples == 1
+        assert detector.imputed_samples == 1
+        # Detection still works after the bad sample.
+        assert detector.observe_ipc(2, 0.5).violated
+
+    def test_inf_and_nonpositive_rejected(self):
+        detector = IpcViolationDetector("c")
+        detector.observe_ipc(0, 1.0)
+        for bad in (float("inf"), float("-inf"), 0.0, -3.0):
+            detector.observe_ipc(1, bad)
+        assert detector.baseline_ipc == pytest.approx(1.0)
+        assert detector.rejected_samples == 4
+        assert detector.imputed_samples == 4
+
+    def test_invalid_before_any_valid_is_neutral(self):
+        detector = IpcViolationDetector("c", threshold_fraction=0.9)
+        report = detector.observe_ipc(0, float("nan"))
+        assert detector.baseline_ipc is None
+        assert not report.violated
+        assert len(detector.qos_series) == 0  # nothing to impute from
+        assert detector.rejected_samples == 1
+        assert detector.imputed_samples == 0
+        # First valid reading then behaves exactly like the first ever.
+        first = detector.observe_ipc(1, 2.0)
+        assert detector.baseline_ipc == pytest.approx(2.0)
+        assert first.value == pytest.approx(1.0)
+
+    def test_imputed_sample_counts_in_series(self):
+        detector = IpcViolationDetector("c")
+        detector.observe_ipc(0, 1.0)
+        detector.observe_ipc(1, float("nan"))
+        assert len(detector.qos_series) == 2  # imputed tick still reported
+
     def test_violation_ratio(self):
         detector = IpcViolationDetector("c", threshold_fraction=0.9)
         detector.observe_ipc(0, 1.0)

@@ -1,0 +1,311 @@
+"""Unit tests for the watermark stream assembler and its ablation.
+
+Every delivery pathology the chaos drills inject has a pinned-down
+local semantics here: reorder inside the watermark is absorbed,
+duplicates keep the first value, late records are dropped, missing
+cells are imputed from their last value, wholly-missing ticks become
+NaN gap ticks, and sustained absence retires a cell (the fleet
+migration case). :class:`PassthroughAssembler` is pinned to the naive
+behaviours the ablation arm needs: overwrite, zero-fill, silent loss.
+"""
+
+import math
+
+import pytest
+
+from repro.service.assembler import PassthroughAssembler, StreamAssembler
+
+
+def sample(tick, container="c0", metrics=None, host="host0"):
+    return {
+        "kind": "sample",
+        "tick": tick,
+        "host": host,
+        "container": container,
+        "metrics": metrics if metrics is not None else {"cpu": float(tick)},
+    }
+
+
+def state(tick, container="c0", value="running", finished=False):
+    return {
+        "kind": "state",
+        "tick": tick,
+        "host": "host0",
+        "container": container,
+        "state": value,
+        "finished": finished,
+    }
+
+
+def qos(tick, value=1.0, threshold=0.9):
+    return {
+        "kind": "qos",
+        "tick": tick,
+        "host": "host0",
+        "container": "sens",
+        "value": value,
+        "threshold": threshold,
+    }
+
+
+HEADER = {
+    "kind": "header",
+    "host": "host0",
+    "capacity": {"cpu": 8.0},
+    "containers": {"c0": "batch", "sens": "sensitive"},
+    "sensitive": "sens",
+}
+
+
+class TestWatermarkClosing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamAssembler(watermark=-1)
+        with pytest.raises(ValueError):
+            StreamAssembler(retire_after=-1)
+
+    def test_nothing_closes_before_watermark_passes(self):
+        assembler = StreamAssembler(watermark=2)
+        assembler.offer(sample(0))
+        assembler.offer(sample(1))
+        assert assembler.due() == []
+        assert assembler.pending_ticks() == [0, 1]
+
+    def test_tick_closes_when_watermark_passes(self):
+        assembler = StreamAssembler(watermark=2)
+        for tick in range(4):
+            assembler.offer(sample(tick))
+        closed = assembler.due()
+        assert [c.tick for c in closed] == [0, 1]
+        assert assembler.last_closed == 1
+        assert closed[0].usage["c0"]["cpu"] == 0.0
+        assert not closed[0].partial
+
+    def test_zero_watermark_closes_as_soon_as_seen(self):
+        # t closes once a record for t + watermark arrives; with 0 that
+        # is t itself, so each poll's newest tick closes immediately.
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0))
+        assert [c.tick for c in assembler.due()] == [0]
+
+    def test_force_closes_everything(self):
+        assembler = StreamAssembler(watermark=5)
+        for tick in range(3):
+            assembler.offer(sample(tick))
+        assert assembler.due() == []
+        closed = assembler.due(force=True)
+        assert [c.tick for c in closed] == [0, 1, 2]
+
+    def test_closes_in_tick_order_despite_arrival_order(self):
+        assembler = StreamAssembler(watermark=1)
+        for tick in (2, 0, 1, 3):
+            assembler.offer(sample(tick))
+        assert [c.tick for c in assembler.due()] == [0, 1, 2]
+        assert assembler.summary()["reordered"] == 2  # ticks 0 and 1
+
+
+class TestDeliveryPathologies:
+    def test_duplicate_cell_keeps_first_value(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0, metrics={"cpu": 1.0}))
+        assembler.offer(sample(0, metrics={"cpu": 99.0}))
+        assembler.offer(sample(1))
+        closed = assembler.due()
+        assert closed[0].usage["c0"]["cpu"] == 1.0
+        assert assembler.summary()["duplicated"] == 1
+
+    def test_reordered_record_within_watermark_is_used(self):
+        assembler = StreamAssembler(watermark=2)
+        assembler.offer(sample(1))
+        assembler.offer(sample(0, metrics={"cpu": 7.0}))  # behind tick 1
+        for tick in (2, 3):
+            assembler.offer(sample(tick))
+        closed = assembler.due()
+        assert closed[0].usage["c0"]["cpu"] == 7.0
+        assert not closed[0].partial
+        assert assembler.summary()["reordered"] == 1
+
+    def test_late_record_for_closed_tick_is_dropped(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0))
+        assembler.offer(sample(1))
+        assembler.due()
+        assembler.offer(sample(0, metrics={"cpu": 123.0}))
+        assert assembler.summary()["late"] == 1
+        assert assembler.pending_ticks() == []  # late record not buffered
+
+    def test_missing_cell_imputed_from_last_value(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0, metrics={"cpu": 3.0}))
+        assembler.offer(sample(0, container="c1", metrics={"cpu": 5.0}))
+        assembler.offer(sample(1, metrics={"cpu": 4.0}))  # c1 missing
+        assembler.offer(sample(2))
+        assembler.offer(sample(2, container="c1"))
+        closed = assembler.due()
+        assert closed[1].usage["c1"]["cpu"] == 5.0
+        assert closed[1].partial
+        summary = assembler.summary()
+        assert summary["imputed"] == 1
+        assert summary["dropped"] == 1
+        assert summary["ticks_closed_partial"] == 1
+
+    def test_missing_cell_with_no_history_is_nan(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0, metrics={"cpu": 1.0}))
+        # c1 registers at tick 1, so its tick-0 cell closes with no
+        # delivered value to impute from.
+        assembler.offer(sample(1, container="c1", metrics={"cpu": 2.0}))
+        closed_0 = assembler.due()[0]
+        assert math.isnan(closed_0.usage["c1"]["cpu"])
+        assert closed_0.partial
+        assembler.offer(sample(2, container="c1"))
+        closed_1 = assembler.due()[-1]  # c0 missing with history -> imputed
+        assert closed_1.usage["c0"]["cpu"] == 1.0
+
+    def test_gap_tick_synthesized_as_nan(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0, metrics={"cpu": 1.0}))
+        assembler.offer(sample(3))  # ticks 1, 2 never stream
+        closed = assembler.due()
+        assert [c.tick for c in closed] == [0, 1, 2, 3]
+        assert closed[1].gap and closed[2].gap
+        assert math.isnan(closed[1].usage["c0"]["cpu"])
+        assert assembler.summary()["gap_ticks"] == 2
+
+
+class TestCellRetirement:
+    def feed(self, assembler, tick, containers):
+        for container in containers:
+            assembler.offer(sample(tick, container=container))
+
+    def test_departed_container_retires_after_streak(self):
+        assembler = StreamAssembler(watermark=0, retire_after=3)
+        self.feed(assembler, 0, ["c0", "gone"])
+        for tick in range(1, 6):
+            self.feed(assembler, tick, ["c0"])  # "gone" left the host
+        closed = assembler.due()
+        summary = assembler.summary()
+        assert summary["cells_retired"] == 1  # one metric cell
+        # Misses 1..2 imputed, the 3rd retired the cell.
+        assert summary["imputed"] == 2
+        # After retirement the closes are complete again.
+        assert not closed[-1].partial
+        assert all("gone" not in c.usage for c in closed[3:])
+
+    def test_intermittent_cell_is_not_retired(self):
+        assembler = StreamAssembler(watermark=0, retire_after=3)
+        for tick in range(8):
+            # "flaky" misses every other tick: streak never reaches 3.
+            containers = ["c0"] if tick % 2 else ["c0", "flaky"]
+            self.feed(assembler, tick, containers)
+        assembler.due()
+        assert assembler.summary()["cells_retired"] == 0
+
+    def test_gap_ticks_do_not_advance_retirement(self):
+        assembler = StreamAssembler(watermark=0, retire_after=2)
+        self.feed(assembler, 0, ["c0"])
+        self.feed(assembler, 10, ["c0"])  # 9 gap ticks in between
+        assembler.offer(sample(11))
+        assembler.due()
+        summary = assembler.summary()
+        assert summary["gap_ticks"] == 9
+        assert summary["cells_retired"] == 0
+
+    def test_retired_container_state_dropped_and_readmitted(self):
+        assembler = StreamAssembler(watermark=0, retire_after=2)
+        assembler.offer(HEADER)
+        self.feed(assembler, 0, ["c0", "gone"])
+        assembler.offer(state(0, "gone"))
+        for tick in range(1, 4):
+            self.feed(assembler, tick, ["c0"])
+        closed = assembler.due()
+        assert "gone" not in closed[-1].states
+        # The container comes back: its cells re-register.
+        self.feed(assembler, 4, ["c0", "gone"])
+        self.feed(assembler, 5, ["c0", "gone"])
+        back = assembler.due()
+        assert back[0].usage["gone"]["cpu"] == 4.0
+
+    def test_zero_disables_retirement(self):
+        assembler = StreamAssembler(watermark=0, retire_after=0)
+        self.feed(assembler, 0, ["c0", "gone"])
+        for tick in range(1, 30):
+            self.feed(assembler, tick, ["c0"])
+        closed = assembler.due()
+        assert assembler.summary()["cells_retired"] == 0
+        assert closed[-1].usage["gone"]["cpu"] == 0.0  # imputed forever
+
+
+class TestHeaderAndQos:
+    def test_header_seeds_states_and_first_wins(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(HEADER)
+        assembler.offer({**HEADER, "host": "other"})
+        assert assembler.header["host"] == "host0"
+        assembler.offer(sample(0))
+        assembler.offer(sample(1))
+        closed = assembler.due()[0]
+        assert closed.states["sens"] == ("created", False, True)
+        assert closed.states["c0"] == ("created", False, False)
+
+    def test_qos_and_state_flow_through(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0))
+        assembler.offer(state(0, "c0", "paused", finished=True))
+        assembler.offer(qos(0, value=0.5))
+        assembler.offer(sample(1))
+        closed = assembler.due()[0]
+        assert closed.qos == (0.5, 0.9)
+        assert closed.states["c0"] == ("paused", True, False)
+
+    def test_state_held_from_last_delivery(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer(sample(0))
+        assembler.offer(state(0, "c0", "paused"))
+        assembler.offer(sample(1))  # no state record this tick
+        assembler.offer(sample(2))
+        closed = assembler.due()
+        assert closed[1].states["c0"][0] == "paused"
+
+    def test_malformed_records_ignored(self):
+        assembler = StreamAssembler(watermark=0)
+        assembler.offer({"kind": "sample", "tick": "not-an-int"})
+        assembler.offer({"kind": "mystery"})
+        assert assembler.due() == []
+
+
+class TestPassthroughAssembler:
+    def test_duplicates_overwrite(self):
+        assembler = PassthroughAssembler()
+        assembler.offer(sample(0, metrics={"cpu": 1.0}))
+        assembler.offer(sample(0, metrics={"cpu": 99.0}))
+        assembler.offer(sample(1))
+        assert assembler.due()[0].usage["c0"]["cpu"] == 99.0
+
+    def test_missing_cells_zero_filled(self):
+        assembler = PassthroughAssembler()
+        assembler.offer(sample(0, metrics={"cpu": 3.0}))
+        assembler.offer(sample(0, container="c1", metrics={"cpu": 5.0}))
+        assembler.offer(sample(1, metrics={"cpu": 4.0}))
+        assembler.offer(sample(2))
+        closed = assembler.due()
+        assert closed[1].usage["c1"]["cpu"] == 0.0  # the poisonous fill
+
+    def test_late_records_silently_lost(self):
+        assembler = PassthroughAssembler()
+        assembler.offer(sample(1))
+        assembler.offer(sample(2))
+        assembler.due()
+        assembler.offer(sample(0, metrics={"cpu": 7.0}))
+        # The late tick-0 record never surfaces again (and no counter
+        # recorded the loss — passthrough has no census at all).
+        assert all(c.tick != 0 for c in assembler.due(force=True))
+        assert assembler.summary() == {}
+
+    def test_skipped_ticks_never_close(self):
+        assembler = PassthroughAssembler()
+        assembler.offer(sample(0))
+        assembler.offer(sample(5))
+        assembler.offer(sample(6))
+        closed = assembler.due()
+        assert [c.tick for c in closed] == [0, 5]  # 1-4 never existed

@@ -29,6 +29,16 @@ the simulator *drives*, not one that reaches back into it:
   ``sim``, ``monitoring``, ``telemetry``, ``workloads``,
   ``baselines``) may import ``fleet`` — one crashed coordinator must
   never be able to take a host-local control loop down with it.
+* ``service`` (the streaming controller-as-a-service seam) wraps
+  ``core`` behind wire records: it may import ``core`` /
+  ``monitoring`` / ``telemetry`` (and ``sim`` value types for its
+  reconstructed host views), but must not import ``workloads`` /
+  ``baselines`` / ``experiments`` / ``analysis`` / ``fleet``, and
+  nothing beneath it (``core``, ``sim``, ``monitoring``,
+  ``telemetry``, ``workloads``, ``baselines``) may import ``service``
+  — the in-process control loop must keep working when the service
+  seam is deleted. ``fleet`` sits above ``service`` (its stream-backed
+  cells drive one service per host).
 
 Imports inside ``if TYPE_CHECKING:`` are exempt: they vanish at
 runtime, which is exactly the sanctioned way to keep type hints across
@@ -58,12 +68,21 @@ from tools.sacheck.engine import (
 
 #: layer -> layers it must never import at runtime
 FORBIDDEN: Dict[str, Set[str]] = {
-    "core": {"sim", "workloads", "baselines", "experiments", "fleet"},
-    "telemetry": {"core", "fleet"},
-    "monitoring": {"sim", "fleet"},
-    "sim": {"fleet", "core", "monitoring", "baselines", "experiments", "analysis"},
-    "workloads": {"fleet"},
-    "baselines": {"fleet", "experiments", "analysis"},
+    "core": {"sim", "workloads", "baselines", "experiments", "fleet", "service"},
+    "telemetry": {"core", "fleet", "service"},
+    "monitoring": {"sim", "fleet", "service"},
+    "sim": {
+        "fleet",
+        "core",
+        "monitoring",
+        "baselines",
+        "experiments",
+        "analysis",
+        "service",
+    },
+    "workloads": {"fleet", "service"},
+    "baselines": {"fleet", "experiments", "analysis", "service"},
+    "service": {"workloads", "baselines", "experiments", "analysis", "fleet"},
     "fleet": {"workloads", "baselines", "experiments", "analysis"},
 }
 
